@@ -1,0 +1,31 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test vet bench tools examples experiments clean
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+bench:
+	go test -bench=. -benchmem
+
+tools:
+	go build -o bin/ ./cmd/...
+
+examples:
+	@for ex in examples/*/; do echo "== $$ex"; go run ./$$ex || exit 1; done
+
+# Regenerates every table/figure (see results/runall.sh for the exact
+# configuration used in EXPERIMENTS.md).
+experiments: tools
+	cd results && ./runall.sh
+
+clean:
+	rm -rf bin

@@ -1,0 +1,387 @@
+package reachlab
+
+// testing.B benchmarks, one family per table/figure of §VI. They run
+// the same code paths as cmd/drbench on the tiny dataset suite so
+// `go test -bench=.` stays tractable; the full-scale numbers in
+// EXPERIMENTS.md come from `drbench -suite medium` / `-suite all`.
+//
+//	BenchmarkTable5…  dataset inventory statistics
+//	BenchmarkTable6…  index time per algorithm + query time
+//	BenchmarkFig5…    communication/computation split (DRL⁻, DRL, DRL_b)
+//	BenchmarkFig6…    worker-count sweep (speedup)
+//	BenchmarkFig7…    edge-prefix scalability
+//	BenchmarkFig8…    initial batch size b
+//	BenchmarkFig9…    increment factor k
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/bfl"
+	"repro/internal/drl"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/label"
+	"repro/internal/netsim"
+	"repro/internal/order"
+	"repro/internal/tol"
+)
+
+// benchGraph is the WEBW stand-in at tiny scale, built once.
+var benchGraph = sync.OnceValue(func() *graph.Digraph {
+	g, err := gen.Generate(gen.Params{Family: gen.Web, N: 4000, AvgDegree: 2.4, Seed: 101})
+	if err != nil {
+		panic(err)
+	}
+	return g
+})
+
+var benchOrder = sync.OnceValue(func() *order.Ordering {
+	return order.Compute(benchGraph())
+})
+
+var benchIndex = sync.OnceValue(func() *label.Index {
+	return tol.Build(benchGraph(), benchOrder())
+})
+
+var benchNet = netsim.Model{BarrierLatency: 20 * time.Microsecond, BytesPerSecond: 1 << 30}
+
+func reportIndexBytes(b *testing.B, idx *label.Index) {
+	b.Helper()
+	if idx != nil {
+		b.ReportMetric(float64(idx.SizeBytes()), "index-bytes")
+	}
+}
+
+// BenchmarkTable5Stats regenerates the Table V statistics.
+func BenchmarkTable5Stats(b *testing.B) {
+	g := benchGraph()
+	for i := 0; i < b.N; i++ {
+		_ = graph.ComputeStats(g)
+	}
+}
+
+// BenchmarkTable6Index covers the Index Time columns of Table VI.
+func BenchmarkTable6Index(b *testing.B) {
+	g, ord := benchGraph(), benchOrder()
+	b.Run("TOL", func(b *testing.B) {
+		var idx *label.Index
+		for i := 0; i < b.N; i++ {
+			idx = tol.Build(g, ord)
+		}
+		reportIndexBytes(b, idx)
+	})
+	b.Run("BFL_C", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := bfl.Build(g, bfl.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("BFL_D", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := bfl.BuildDistributed(g, bfl.Options{}, bfl.DistOptions{Workers: 4, Net: benchNet}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("DRL_b", func(b *testing.B) {
+		var idx *label.Index
+		for i := 0; i < b.N; i++ {
+			var err error
+			idx, _, err = drl.BuildDistributedBatch(g, ord, drl.DefaultBatchParams(),
+				drl.DistOptions{Workers: 4, Net: benchNet})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportIndexBytes(b, idx)
+	})
+	b.Run("DRL_b_M", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := drl.BuildBatch(g, ord, drl.DefaultBatchParams(), drl.Options{Workers: 4}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTable6Query covers the Query Time columns of Table VI.
+func BenchmarkTable6Query(b *testing.B) {
+	g := benchGraph()
+	idx := benchIndex()
+	bx, err := bfl.Build(g, bfl.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := g.NumVertices()
+	b.Run("IndexOnly", func(b *testing.B) { // TOL = DRL_b = DRL_b^M
+		for i := 0; i < b.N; i++ {
+			s := graph.VertexID(i % n)
+			t := graph.VertexID((i * 7919) % n)
+			idx.Reachable(s, t)
+		}
+	})
+	b.Run("BFL_C", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := graph.VertexID(i % n)
+			t := graph.VertexID((i * 7919) % n)
+			bx.Reachable(g, s, t)
+		}
+	})
+	b.Run("BFL_D", func(b *testing.B) {
+		var sim time.Duration
+		for i := 0; i < b.N; i++ {
+			s := graph.VertexID(i % n)
+			t := graph.VertexID((i * 7919) % n)
+			_, d := bx.ReachableDistributed(g, s, t, 4, benchNet)
+			sim += d
+		}
+		b.ReportMetric(sim.Seconds()/float64(b.N), "sim-sec/op")
+	})
+}
+
+// BenchmarkFig5CommSplit covers Exp 4: the three proposed algorithms
+// with their communication/computation split reported as metrics.
+func BenchmarkFig5CommSplit(b *testing.B) {
+	g, ord := benchGraph(), benchOrder()
+	run := func(b *testing.B, build func() (interface {
+		Total() time.Duration
+		TotalComm() time.Duration
+	}, error)) {
+		var comm, comp float64
+		for i := 0; i < b.N; i++ {
+			met, err := build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			comm += met.TotalComm().Seconds()
+			comp += (met.Total() - met.TotalComm()).Seconds()
+		}
+		b.ReportMetric(comm/float64(b.N), "comm-sec/op")
+		b.ReportMetric(comp/float64(b.N), "comp-sec/op")
+	}
+	b.Run("DRLMinus", func(b *testing.B) {
+		run(b, func() (interface {
+			Total() time.Duration
+			TotalComm() time.Duration
+		}, error) {
+			_, met, err := drl.BuildDistributedBasic(g, ord, drl.DistOptions{Workers: 4, Net: benchNet})
+			return &met, err
+		})
+	})
+	b.Run("DRL", func(b *testing.B) {
+		run(b, func() (interface {
+			Total() time.Duration
+			TotalComm() time.Duration
+		}, error) {
+			_, met, err := drl.BuildDistributed(g, ord, drl.DistOptions{Workers: 4, Net: benchNet})
+			return &met, err
+		})
+	})
+	b.Run("DRLb", func(b *testing.B) {
+		run(b, func() (interface {
+			Total() time.Duration
+			TotalComm() time.Duration
+		}, error) {
+			_, met, err := drl.BuildDistributedBatch(g, ord, drl.DefaultBatchParams(),
+				drl.DistOptions{Workers: 4, Net: benchNet})
+			return &met, err
+		})
+	})
+}
+
+// BenchmarkFig6Workers covers Exp 5: DRL_b across node counts.
+func BenchmarkFig6Workers(b *testing.B) {
+	g, ord := benchGraph(), benchOrder()
+	for _, p := range bench.Fig6WorkerCounts {
+		b.Run(fmt.Sprintf("DRLb_P%d", p), func(b *testing.B) {
+			var makespan float64
+			for i := 0; i < b.N; i++ {
+				_, met, err := drl.BuildDistributedBatch(g, ord, drl.DefaultBatchParams(),
+					drl.DistOptions{Workers: p, Net: benchNet})
+				if err != nil {
+					b.Fatal(err)
+				}
+				makespan += met.Total().Seconds()
+			}
+			// The simulated cluster index time (what Fig. 6's speedup
+			// is computed from); wall ns/op measures the host instead.
+			b.ReportMetric(makespan/float64(b.N), "cluster-sec/op")
+		})
+	}
+}
+
+// BenchmarkFig7Scalability covers Exp 6: growing edge prefixes.
+func BenchmarkFig7Scalability(b *testing.B) {
+	edges, err := gen.Edges(gen.Params{Family: gen.Web, N: 4000, AvgDegree: 2.4, Seed: 101})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, frac := range bench.Fig7Fractions {
+		g := graph.FromEdges(4000, graph.EdgePrefix(edges, frac))
+		ord := order.Compute(g)
+		b.Run(fmt.Sprintf("DRLb_%.0f%%", frac*100), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := drl.BuildDistributedBatch(g, ord, drl.DefaultBatchParams(),
+					drl.DistOptions{Workers: 4, Net: benchNet}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig8BatchSize covers Exp 7: the initial batch size b.
+func BenchmarkFig8BatchSize(b *testing.B) {
+	g, ord := benchGraph(), benchOrder()
+	for _, size := range bench.Fig8Sizes {
+		b.Run(fmt.Sprintf("b%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := drl.BuildDistributedBatch(g, ord,
+					drl.BatchParams{InitialSize: size, Factor: 2},
+					drl.DistOptions{Workers: 4, Net: benchNet}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig9Factor covers Exp 8: the increment factor k. k = 1 is
+// included (the paper's pathological case) but at a reduced graph to
+// keep the suite bounded.
+func BenchmarkFig9Factor(b *testing.B) {
+	g, ord := benchGraph(), benchOrder()
+	small, err := gen.Generate(gen.Params{Family: gen.Web, N: 800, AvgDegree: 2.4, Seed: 101})
+	if err != nil {
+		b.Fatal(err)
+	}
+	smallOrd := order.Compute(small)
+	for _, k := range bench.Fig9Factors {
+		gk, ok := g, ord
+		if k == 1 {
+			gk, ok = small, smallOrd
+		}
+		b.Run(fmt.Sprintf("k%.1f", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := drl.BuildDistributedBatch(gk, ok,
+					drl.BatchParams{InitialSize: 2, Factor: k},
+					drl.DistOptions{Workers: 4, Net: benchNet}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationOrder sweeps the total-order strategies (the §II-B
+// design choice: "degree product is cheap and works well").
+func BenchmarkAblationOrder(b *testing.B) {
+	g := benchGraph()
+	for _, strat := range order.Strategies() {
+		ord, err := order.ComputeStrategy(g, strat)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(string(strat), func(b *testing.B) {
+			var idx *label.Index
+			for i := 0; i < b.N; i++ {
+				var err error
+				idx, _, err = drl.BuildDistributedBatch(g, ord, drl.DefaultBatchParams(),
+					drl.DistOptions{Workers: 4, Net: benchNet})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportIndexBytes(b, idx)
+		})
+	}
+}
+
+// BenchmarkAblationCondense compares labeling the raw cyclic graph
+// against labeling its SCC condensation (the §II-C design choice).
+func BenchmarkAblationCondense(b *testing.B) {
+	g := benchGraph()
+	b.Run("raw", func(b *testing.B) {
+		ord := order.Compute(g)
+		var idx *label.Index
+		for i := 0; i < b.N; i++ {
+			var err error
+			idx, _, err = drl.BuildDistributedBatch(g, ord, drl.DefaultBatchParams(),
+				drl.DistOptions{Workers: 4, Net: benchNet})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportIndexBytes(b, idx)
+	})
+	b.Run("condensed", func(b *testing.B) {
+		var idx *label.Index
+		for i := 0; i < b.N; i++ {
+			cond, _ := graph.Condense(g)
+			ord := order.Compute(cond)
+			var err error
+			idx, _, err = drl.BuildDistributedBatch(cond, ord, drl.DefaultBatchParams(),
+				drl.DistOptions{Workers: 4, Net: benchNet})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportIndexBytes(b, idx)
+	})
+}
+
+// BenchmarkDynamicUpdate measures incremental index maintenance
+// against the rebuild alternative, on the citation DAG where updates
+// stay localized (on giant-SCC graphs the maintainer falls back to a
+// rebuild by design).
+func BenchmarkDynamicUpdate(b *testing.B) {
+	g, err := gen.Generate(gen.Params{Family: gen.Citation, N: 4000, AvgDegree: 2.3, Seed: 103})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := tol.NewDynamic(g)
+	n := g.NumVertices()
+	b.Run("InsertDelete", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			u := graph.VertexID((i * 31) % n)
+			v := graph.VertexID((i * 173) % n)
+			if err := d.InsertEdge(u, v); err != nil {
+				b.Fatal(err)
+			}
+			if err := d.DeleteEdge(u, v); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	ord := order.Compute(g)
+	b.Run("RebuildBaseline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = tol.Build(g, ord)
+		}
+	})
+}
+
+// BenchmarkTrimmedBFS measures the core filtering primitive
+// (Algorithm 2) in isolation.
+func BenchmarkTrimmedBFS(b *testing.B) {
+	g, ord := benchGraph(), benchOrder()
+	s := label.NewScratch(g.NumVertices())
+	var low, hig []graph.VertexID
+	for i := 0; i < b.N; i++ {
+		v := graph.VertexID(i % g.NumVertices())
+		low, hig = label.TrimmedBFS(g, ord, v, s, low[:0], hig[:0])
+	}
+}
+
+// BenchmarkOrderCompute measures the total-order computation.
+func BenchmarkOrderCompute(b *testing.B) {
+	g := benchGraph()
+	for i := 0; i < b.N; i++ {
+		_ = order.Compute(g)
+	}
+}

@@ -1,0 +1,136 @@
+// Command drbench regenerates the paper's evaluation artifacts
+// (Table V, Table VI, and Figures 5-9 of §VI) against the synthetic
+// dataset suite.
+//
+// Usage:
+//
+//	drbench -exp table6 -suite medium -workers 8 -cutoff 60s
+//	drbench -exp all    -suite tiny
+//
+// Experiments: table5, table6, fig5, fig6, fig7, fig8, fig9, all.
+// Suites: tiny, medium, large, all (see internal/bench).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/netsim"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "table6", "experiment: table5, table6, fig5, fig6, fig7, fig8, fig9, ablation-order, ablation-condense, all")
+		suite   = flag.String("suite", "medium", "dataset suite: tiny, medium, large, all")
+		workers = flag.Int("workers", 8, "simulated computation nodes P")
+		cutoff  = flag.Duration("cutoff", 60*time.Second, "per-build cut-off (0 = none); timed-out builds print INF")
+		queries = flag.Int("queries", 20000, "sampled queries per query-time figure")
+		latency = flag.Duration("latency", 100*time.Microsecond, "simulated per-superstep barrier latency")
+		quiet   = flag.Bool("q", false, "suppress progress lines")
+	)
+	flag.Parse()
+
+	ds, err := bench.Suite(*suite)
+	if err != nil {
+		fatal(err)
+	}
+	r := bench.NewRunner()
+	r.Workers = *workers
+	r.Cutoff = *cutoff
+	r.Queries = *queries
+	r.Net = netsim.Model{BarrierLatency: *latency, BytesPerSecond: netsim.Commodity().BytesPerSecond}
+
+	progress := func(line string) { fmt.Fprintln(os.Stderr, line) }
+	if *quiet {
+		progress = nil
+	}
+
+	run := func(name string) error {
+		fmt.Printf("\n===== %s (suite %s, P=%d) =====\n", name, *suite, r.Workers)
+		switch name {
+		case "table5":
+			rows, err := r.Table5(ds, progress)
+			if err != nil {
+				return err
+			}
+			bench.PrintTable5(os.Stdout, rows)
+		case "table6":
+			rows, err := r.Table6(ds, progress)
+			if err != nil {
+				return err
+			}
+			bench.PrintTable6(os.Stdout, rows)
+		case "fig5":
+			rows, err := r.Fig5(ds, progress)
+			if err != nil {
+				return err
+			}
+			bench.PrintFig5(os.Stdout, rows)
+		case "fig6":
+			rows, err := r.Fig6(ds, progress)
+			if err != nil {
+				return err
+			}
+			bench.PrintFig6(os.Stdout, rows)
+		case "fig7":
+			rows, err := r.Fig7(ds, progress)
+			if err != nil {
+				return err
+			}
+			bench.PrintFig7(os.Stdout, rows)
+		case "fig8":
+			rows, err := r.Fig8(ds, progress)
+			if err != nil {
+				return err
+			}
+			bench.PrintFig8(os.Stdout, rows)
+		case "fig9":
+			rows, err := r.Fig9(ds, progress)
+			if err != nil {
+				return err
+			}
+			bench.PrintFig9(os.Stdout, rows)
+		case "ablation-order":
+			rows, err := r.AblationOrder(ds, progress)
+			if err != nil {
+				return err
+			}
+			bench.PrintAblationOrder(os.Stdout, rows)
+		case "ablation-condense":
+			rows, err := r.AblationCondense(ds, progress)
+			if err != nil {
+				return err
+			}
+			bench.PrintAblationCondense(os.Stdout, rows)
+		case "extras":
+			rows, err := r.Extras(ds, progress)
+			if err != nil {
+				return err
+			}
+			bench.PrintExtras(os.Stdout, rows)
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{"table5", "table6", "fig5", "fig6", "fig7", "fig8", "fig9", "ablation-order", "ablation-condense"} {
+			if err := run(name); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+	if err := run(*exp); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "drbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,149 @@
+// Command drcluster is the master of the distributed labeling
+// cluster: it drives DRL or DRL_b across drworker processes and
+// writes the collected index.
+//
+// Against already-running workers:
+//
+//	drcluster -i graph.bin -o graph.idx -workers 127.0.0.1:7101,127.0.0.1:7102
+//
+// Or self-contained — it spawns local drworker processes, runs the
+// job, and shuts them down (drworker must be on $PATH or next to the
+// drcluster binary):
+//
+//	drcluster -i graph.bin -o graph.idx -spawn 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/drl"
+	"repro/internal/graph"
+	"repro/internal/label"
+	"repro/internal/pregel"
+)
+
+func main() {
+	var (
+		in      = flag.String("i", "", "input graph file, readable by every worker (required)")
+		out     = flag.String("o", "", "output index path (required)")
+		workers = flag.String("workers", "", "comma-separated worker addresses")
+		spawn   = flag.Int("spawn", 0, "spawn this many local drworker processes instead")
+		method  = flag.String("method", "drl-batch", "drl or drl-batch")
+		b       = flag.Int("b", 2, "DRL_b initial batch size")
+		k       = flag.Float64("k", 2, "DRL_b batch increment factor")
+	)
+	flag.Parse()
+	if *in == "" || *out == "" {
+		fatal(fmt.Errorf("both -i and -o are required"))
+	}
+
+	var addrs []string
+	if *spawn > 0 {
+		var cleanup func()
+		var err error
+		addrs, cleanup, err = spawnWorkers(*spawn)
+		if err != nil {
+			fatal(err)
+		}
+		defer cleanup()
+	} else if *workers != "" {
+		addrs = strings.Split(*workers, ",")
+	} else {
+		fatal(fmt.Errorf("provide -workers addresses or -spawn N"))
+	}
+
+	var (
+		idx *label.Index
+		met pregel.Metrics
+		err error
+	)
+	start := time.Now()
+	switch *method {
+	case "drl":
+		idx, met, err = drl.BuildOverRPC(addrs, *in)
+	case "drl-batch":
+		idx, met, err = drl.BuildBatchOverRPC(addrs, *in, drl.BatchParams{InitialSize: *b, Factor: *k})
+	default:
+		err = fmt.Errorf("unknown method %q (want drl or drl-batch)", *method)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("built over %d workers in %v (%d supersteps, %.2f MB remote traffic)\n",
+		len(addrs), time.Since(start).Round(time.Millisecond),
+		met.Supersteps, float64(met.BytesRemote)/(1<<20))
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	if _, err := idx.WriteTo(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%.2f MB)\n", *out, float64(idx.SizeBytes())/(1<<20))
+	_ = graph.VertexID(0)
+}
+
+// spawnWorkers launches local drworker processes on ephemeral ports
+// and parses the bound addresses from their stdout.
+func spawnWorkers(n int) ([]string, func(), error) {
+	bin, err := exec.LookPath("drworker")
+	if err != nil {
+		// Try next to this binary.
+		self, serr := os.Executable()
+		if serr != nil {
+			return nil, nil, fmt.Errorf("drworker not found: %w", err)
+		}
+		bin = filepath.Join(filepath.Dir(self), "drworker")
+		if _, serr := os.Stat(bin); serr != nil {
+			return nil, nil, fmt.Errorf("drworker not found on $PATH or next to drcluster: %w", err)
+		}
+	}
+	var procs []*exec.Cmd
+	cleanup := func() {
+		for _, c := range procs {
+			if c.Process != nil {
+				c.Process.Kill()
+			}
+		}
+		for _, c := range procs {
+			c.Wait()
+		}
+	}
+	var addrs []string
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(bin, "-listen", "127.0.0.1:0")
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		procs = append(procs, cmd)
+		var addr string
+		if _, err := fmt.Fscanf(stdout, "drworker listening on %s\n", &addr); err != nil {
+			cleanup()
+			return nil, nil, fmt.Errorf("reading worker %d address: %w", i, err)
+		}
+		addrs = append(addrs, addr)
+	}
+	return addrs, cleanup, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "drcluster:", err)
+	os.Exit(1)
+}

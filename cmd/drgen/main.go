@@ -1,0 +1,57 @@
+// Command drgen generates synthetic benchmark graphs from the dataset
+// families of Table V.
+//
+// Usage:
+//
+//	drgen -family web -n 100000 -deg 4 -seed 1 -o web.bin
+//	drgen -dataset WEBW -o webw.bin          # a registry dataset
+//	drgen -family citation -n 1000 -text -o cite.el
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func main() {
+	var (
+		family  = flag.String("family", "web", "graph family: web, citation, social, knowledge, biology, synthetic")
+		dataset = flag.String("dataset", "", "generate a registry dataset (WEBW, DBPE, ...) instead of raw parameters")
+		n       = flag.Int("n", 10000, "number of vertices")
+		deg     = flag.Float64("deg", 4, "target average out-degree")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		out     = flag.String("o", "", "output path (required)")
+		text    = flag.Bool("text", false, "write a text edge list instead of the binary format")
+	)
+	flag.Parse()
+	if *out == "" {
+		fatal(fmt.Errorf("missing -o output path"))
+	}
+
+	params := gen.Params{Family: gen.Family(*family), N: *n, AvgDegree: *deg, Seed: *seed}
+	if *dataset != "" {
+		d, err := bench.Lookup(*dataset)
+		if err != nil {
+			fatal(err)
+		}
+		params = d.Params
+	}
+	g, err := gen.Generate(params)
+	if err != nil {
+		fatal(err)
+	}
+	if err := graph.SaveFile(*out, g, !*text); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %s\n", *out, graph.ComputeStats(g))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "drgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,114 @@
+// Command drquery answers reachability queries from a serialized
+// index — no graph access needed, which is the point of the
+// index-only approach.
+//
+// Usage:
+//
+//	drquery -idx graph.idx 3 17 5 99        # pairs on the command line
+//	echo "3 17" | drquery -idx graph.idx -  # pairs from stdin
+//	drquery -idx graph.idx -bench 1000000   # mean random-query latency
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	var (
+		idxPath = flag.String("idx", "", "index file written by drlabel (required)")
+		bench   = flag.Int("bench", 0, "run this many random queries and report the mean latency")
+		seed    = flag.Int64("seed", 1, "random query seed for -bench")
+	)
+	flag.Parse()
+	if *idxPath == "" {
+		fatal(fmt.Errorf("missing -idx"))
+	}
+	f, err := os.Open(*idxPath)
+	if err != nil {
+		fatal(err)
+	}
+	idx, err := reachlab.ReadIndex(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	n := idx.NumVertices()
+	fmt.Fprintf(os.Stderr, "index covers %d vertices\n", n)
+	if n == 0 {
+		fatal(fmt.Errorf("index is empty"))
+	}
+
+	if *bench > 0 {
+		rng := rand.New(rand.NewSource(*seed))
+		pairs := make([][2]reachlab.VertexID, *bench)
+		for i := range pairs {
+			pairs[i] = [2]reachlab.VertexID{
+				reachlab.VertexID(rng.Intn(n)),
+				reachlab.VertexID(rng.Intn(n)),
+			}
+		}
+		reachable := 0
+		start := time.Now()
+		for _, p := range pairs {
+			if idx.Reachable(p[0], p[1]) {
+				reachable++
+			}
+		}
+		dur := time.Since(start)
+		fmt.Printf("%d queries in %v (%.2E s/query), %d reachable\n",
+			*bench, dur.Round(time.Millisecond),
+			dur.Seconds()/float64(*bench), reachable)
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && args[0] == "-" {
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			var s, t int
+			if _, err := fmt.Sscan(sc.Text(), &s, &t); err != nil {
+				fatal(fmt.Errorf("bad query line %q: %w", sc.Text(), err))
+			}
+			answer(idx, s, t, n)
+		}
+		if err := sc.Err(); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if len(args) == 0 || len(args)%2 != 0 {
+		fatal(fmt.Errorf("provide s t vertex pairs (or '-' for stdin)"))
+	}
+	for i := 0; i < len(args); i += 2 {
+		s, err := strconv.Atoi(args[i])
+		if err != nil {
+			fatal(err)
+		}
+		t, err := strconv.Atoi(args[i+1])
+		if err != nil {
+			fatal(err)
+		}
+		answer(idx, s, t, n)
+	}
+}
+
+func answer(idx *reachlab.Index, s, t, n int) {
+	if s < 0 || s >= n || t < 0 || t >= n {
+		fmt.Printf("q(%d,%d) = out of range\n", s, t)
+		return
+	}
+	fmt.Printf("q(%d,%d) = %v\n", s, t, idx.Reachable(reachlab.VertexID(s), reachlab.VertexID(t)))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "drquery:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+// Command drserve serves reachability queries from a serialized index
+// over HTTP — the single query machine of the paper's deployment
+// model.
+//
+// Usage:
+//
+//	drserve -idx graph.idx -listen :8080
+//	curl 'localhost:8080/reach?s=3&t=17'
+//	curl 'localhost:8080/stats'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	var (
+		idxPath = flag.String("idx", "", "index file written by drlabel (required)")
+		listen  = flag.String("listen", "127.0.0.1:8080", "address to listen on")
+	)
+	flag.Parse()
+	if *idxPath == "" {
+		fatal(fmt.Errorf("missing -idx"))
+	}
+	f, err := os.Open(*idxPath)
+	if err != nil {
+		fatal(err)
+	}
+	idx, err := reachlab.ReadIndex(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	st := idx.Stats()
+	fmt.Printf("serving %d vertices (%.2f MB index) on %s\n",
+		idx.NumVertices(), float64(st.Bytes)/(1<<20), *listen)
+	if err := http.ListenAndServe(*listen, reachlab.NewQueryHandler(idx)); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "drserve:", err)
+	os.Exit(1)
+}

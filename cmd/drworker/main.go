@@ -1,0 +1,43 @@
+// Command drworker hosts one computation node of the distributed
+// labeling cluster: a net/rpc service that owns a graph partition and
+// executes the vertex-centric programs (DRL, DRL_b) driven by a
+// master (cmd/drcluster).
+//
+// Usage:
+//
+//	drworker -listen 127.0.0.1:7101
+//
+// The worker loads the graph itself when the master initializes the
+// job, so the graph file must be readable at the same path on every
+// node (shared storage, as in the paper's cluster).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/pregel"
+
+	_ "repro/internal/drl" // registers the drl and drl-batch programs
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:0", "address to listen on")
+	flag.Parse()
+
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- pregel.ServeWorker(*listen, ready) }()
+	select {
+	case addr := <-ready:
+		fmt.Printf("drworker listening on %s\n", addr)
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "drworker:", err)
+		os.Exit(1)
+	}
+	if err := <-errc; err != nil {
+		fmt.Fprintln(os.Stderr, "drworker:", err)
+		os.Exit(1)
+	}
+}

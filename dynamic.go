@@ -1,0 +1,50 @@
+package reachlab
+
+import (
+	"errors"
+
+	"repro/internal/tol"
+)
+
+// DynamicIndex is a reachability index that stays correct under edge
+// insertions and deletions. Updates repair only the affected label
+// region (falling back to a rebuild when an update touches most of
+// the graph); queries are the same label-merge as Index.
+//
+// The vertex order is frozen at construction, as in the original TOL:
+// updates never change which vertex ranks where, so label sizes can
+// drift from the degree heuristic's optimum over long update
+// sequences — reconstruct via Snapshot+Build when that matters.
+// Distributed dynamic maintenance is the paper's stated future work;
+// this maintainer is centralized.
+type DynamicIndex struct {
+	d *tol.DynamicIndex
+}
+
+// NewDynamicIndex builds a maintainable index over g.
+func NewDynamicIndex(g *Graph) (*DynamicIndex, error) {
+	if g == nil {
+		return nil, errors.New("reachlab: nil graph")
+	}
+	return &DynamicIndex{d: tol.NewDynamic(g.d)}, nil
+}
+
+// Reachable answers q(s, t) against the current graph.
+func (x *DynamicIndex) Reachable(s, t VertexID) bool { return x.d.Reachable(s, t) }
+
+// InsertEdge adds the edge (u, v) and repairs the index. Inserting an
+// existing edge is a no-op.
+func (x *DynamicIndex) InsertEdge(u, v VertexID) error { return x.d.InsertEdge(u, v) }
+
+// DeleteEdge removes the edge (u, v) and repairs the index. Deleting
+// a missing edge is a no-op.
+func (x *DynamicIndex) DeleteEdge(u, v VertexID) error { return x.d.DeleteEdge(u, v) }
+
+// Graph returns the current graph.
+func (x *DynamicIndex) Graph() *Graph { return &Graph{d: x.d.Graph()} }
+
+// Snapshot freezes the current labels into an immutable, serializable
+// Index.
+func (x *DynamicIndex) Snapshot() *Index {
+	return &Index{idx: x.d.Snapshot()}
+}

@@ -1,0 +1,53 @@
+package reachlab
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDynamicIndexPublicAPI(t *testing.T) {
+	g := NewGraph(11, testEdges())
+	d, err := NewDynamicIndex(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Reachable(1, 6) || d.Reachable(9, 0) {
+		t.Fatal("initial answers wrong")
+	}
+	if err := d.InsertEdge(9, 0); err != nil { // v10 → v1
+		t.Fatal(err)
+	}
+	if !d.Reachable(9, 8) { // v10 → v1 → v8 → v9
+		t.Error("insert not reflected")
+	}
+	if err := d.DeleteEdge(9, 0); err != nil {
+		t.Fatal(err)
+	}
+	if d.Reachable(9, 0) {
+		t.Error("delete not reflected")
+	}
+	cur := d.Graph()
+	for s := VertexID(0); s < 11; s++ {
+		for x := VertexID(0); x < 11; x++ {
+			if d.Reachable(s, x) != cur.ReachableBFS(s, x) {
+				t.Fatalf("divergence at (%d,%d)", s, x)
+			}
+		}
+	}
+	// Snapshot serializes like a static index.
+	snap := d.Snapshot()
+	var buf bytes.Buffer
+	if _, err := snap.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Reachable(9, 0) != d.Reachable(9, 0) {
+		t.Error("snapshot round trip diverged")
+	}
+	if _, err := NewDynamicIndex(nil); err == nil {
+		t.Error("nil graph should fail")
+	}
+}

@@ -1,0 +1,65 @@
+package reachlab
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadGraphText(t *testing.T) {
+	g, err := ReadGraph(strings.NewReader("# demo\n0 1\n1 2\n2 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("got %d vertices, %d edges", g.NumVertices(), g.NumEdges())
+	}
+	if !g.ReachableBFS(0, 2) || !g.ReachableBFS(2, 1) {
+		t.Error("cycle reachability wrong")
+	}
+	if _, err := ReadGraph(strings.NewReader("bad line")); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestSaveLoadGraph(t *testing.T) {
+	g := NewGraph(11, testEdges())
+	dir := t.TempDir()
+	for _, binary := range []bool{true, false} {
+		path := filepath.Join(dir, "g")
+		if err := SaveGraph(path, g, binary); err != nil {
+			t.Fatal(err)
+		}
+		got, err := LoadGraph(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.NumVertices() != 11 || got.NumEdges() != 15 {
+			t.Fatalf("binary=%v: round trip changed shape", binary)
+		}
+	}
+	if _, err := LoadGraph(filepath.Join(dir, "missing")); err == nil {
+		t.Error("expected error for missing file")
+	}
+}
+
+func TestGenerateGraphDeterministic(t *testing.T) {
+	a, err := GenerateGraph("social", 300, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateGraph("social", 300, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumEdges() != b.NumEdges() {
+		t.Error("generator is not deterministic")
+	}
+	c, err := GenerateGraph("social", 300, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumEdges() == c.NumEdges() && a.Stats() == c.Stats() {
+		t.Error("seed appears to have no effect")
+	}
+}

@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/drl"
+	"repro/internal/graph"
+	"repro/internal/order"
+)
+
+// Ablations beyond the paper's figures: the design choices DESIGN.md
+// calls out.
+//
+//   - Ordering ablation: §II-B says the degree-product order "is cheap
+//     to calculate and works well in practice". This sweep quantifies
+//     it against degree-sum, out-degree, ID, and random orders.
+//   - Condensation ablation: §II-C argues for labeling the raw cyclic
+//     graph because distributed SCC merging is expensive. This sweep
+//     shows what a (centralized) condensation would buy in index size
+//     and build time.
+
+// AblationOrderRow holds, for one dataset and one order strategy, the
+// DRL_b index time and size.
+type AblationOrderRow struct {
+	Dataset  string
+	Strategy order.Strategy
+	Result   BuildResult
+}
+
+// AblationOrder sweeps the order strategies with DRL_b.
+func (r *Runner) AblationOrder(ds []Dataset, progress func(string)) ([]AblationOrderRow, error) {
+	var rows []AblationOrderRow
+	for _, d := range ds {
+		g, err := d.Build()
+		if err != nil {
+			return nil, fmt.Errorf("bench: building %s: %w", d.Name, err)
+		}
+		for _, strat := range order.Strategies() {
+			ord, err := order.ComputeStrategy(g, strat)
+			if err != nil {
+				return nil, err
+			}
+			res := r.RunDRLbParams(g, ord, drl.DefaultBatchParams(), r.Workers)
+			rows = append(rows, AblationOrderRow{Dataset: d.Name, Strategy: strat, Result: res})
+			report(progress, "ablation-order %s %s: %s", d.Name, strat, fmtBuild(res.Total, res.TimedOut))
+		}
+	}
+	return rows, nil
+}
+
+// PrintAblationOrder renders the ordering sweep.
+func PrintAblationOrder(w io.Writer, rows []AblationOrderRow) {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Dataset\tOrder\tIndex Time (s)\tIndex Size (MB)\tEntries")
+	for _, row := range rows {
+		entries := int64(0)
+		if row.Result.Index != nil {
+			entries = row.Result.Index.Entries()
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%d\n",
+			row.Dataset, row.Strategy,
+			secs(row.Result.Total, row.Result.INF()),
+			mb(row.Result.Bytes, row.Result.INF()),
+			entries)
+	}
+	tw.Flush()
+}
+
+// AblationCondenseRow compares raw-graph labeling against labeling
+// the SCC condensation for one dataset.
+type AblationCondenseRow struct {
+	Dataset      string
+	RawVertices  int
+	CondVertices int
+	CondenseTime time.Duration // time to compute the condensation
+	Raw          BuildResult
+	Condensed    BuildResult
+}
+
+// AblationCondense runs the condensation sweep with DRL_b.
+func (r *Runner) AblationCondense(ds []Dataset, progress func(string)) ([]AblationCondenseRow, error) {
+	var rows []AblationCondenseRow
+	for _, d := range ds {
+		g, err := d.Build()
+		if err != nil {
+			return nil, fmt.Errorf("bench: building %s: %w", d.Name, err)
+		}
+		row := AblationCondenseRow{Dataset: d.Name, RawVertices: g.NumVertices()}
+		ord := order.Compute(g)
+		row.Raw = r.RunDRLbParams(g, ord, drl.DefaultBatchParams(), r.Workers)
+
+		start := time.Now()
+		cond, _ := graph.Condense(g)
+		row.CondenseTime = time.Since(start)
+		row.CondVertices = cond.NumVertices()
+		condOrd := order.Compute(cond)
+		row.Condensed = r.RunDRLbParams(cond, condOrd, drl.DefaultBatchParams(), r.Workers)
+
+		rows = append(rows, row)
+		report(progress, "ablation-condense %s: raw %s, condensed %s (+%v SCC)",
+			d.Name, fmtBuild(row.Raw.Total, row.Raw.INF()),
+			fmtBuild(row.Condensed.Total, row.Condensed.INF()), row.CondenseTime.Round(time.Millisecond))
+	}
+	return rows, nil
+}
+
+// PrintAblationCondense renders the condensation sweep.
+func PrintAblationCondense(w io.Writer, rows []AblationCondenseRow) {
+	tw := newTab(w)
+	fmt.Fprintln(tw, strings.Join([]string{
+		"Dataset", "|V| raw", "|V| cond", "SCC time (s)",
+		"Index time raw (s)", "Index time cond (s)",
+		"Index size raw (MB)", "Index size cond (MB)",
+	}, "\t"))
+	for _, row := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.3f\t%s\t%s\t%s\t%s\n",
+			row.Dataset, row.RawVertices, row.CondVertices,
+			row.CondenseTime.Seconds(),
+			secs(row.Raw.Total, row.Raw.INF()),
+			secs(row.Condensed.Total, row.Condensed.INF()),
+			mb(row.Raw.Bytes, row.Raw.INF()),
+			mb(row.Condensed.Bytes, row.Condensed.INF()))
+	}
+	tw.Flush()
+}

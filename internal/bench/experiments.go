@@ -1,0 +1,318 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/drl"
+	"repro/internal/graph"
+	"repro/internal/order"
+)
+
+// This file implements one function per artifact of §VI. Each returns
+// structured rows; print.go renders them the way the paper lays the
+// artifact out. The progress callback (may be nil) receives one line
+// per completed measurement.
+
+// Table5Row is one line of the dataset inventory.
+type Table5Row struct {
+	Dataset Dataset
+	Stats   graph.Stats
+}
+
+// Table5 generates every dataset in the suite and gathers its
+// statistics.
+func (r *Runner) Table5(ds []Dataset, progress func(string)) ([]Table5Row, error) {
+	rows := make([]Table5Row, 0, len(ds))
+	for _, d := range ds {
+		g, err := d.Build()
+		if err != nil {
+			return nil, fmt.Errorf("bench: building %s: %w", d.Name, err)
+		}
+		rows = append(rows, Table5Row{Dataset: d, Stats: graph.ComputeStats(g)})
+		report(progress, "table5 %s: %s", d.Name, rows[len(rows)-1].Stats)
+	}
+	return rows, nil
+}
+
+// Table6Row is one line of the headline comparison (Exps 1-3): index
+// time, index size, and query time for BFL^C, BFL^D, TOL, DRL_b, and
+// DRL_b^M.
+type Table6Row struct {
+	Dataset string
+	BFLC    BFLResult
+	BFLD    BFLResult
+	TOL     BuildResult
+	DRLb    BuildResult
+	DRLbM   BuildResult
+
+	QueryBFLC time.Duration
+	QueryBFLD time.Duration
+	QueryIdx  time.Duration // TOL = DRL_b = DRL_b^M: same index
+}
+
+// Table6 runs the full competitor comparison. When both TOL and DRL_b
+// complete, their indexes are verified identical — the reproduction's
+// standing invariant.
+func (r *Runner) Table6(ds []Dataset, progress func(string)) ([]Table6Row, error) {
+	rows := make([]Table6Row, 0, len(ds))
+	for _, d := range ds {
+		g, err := d.Build()
+		if err != nil {
+			return nil, fmt.Errorf("bench: building %s: %w", d.Name, err)
+		}
+		ord := order.Compute(g)
+		row := Table6Row{Dataset: d.Name}
+
+		row.BFLC = r.RunBFLC(g)
+		report(progress, "table6 %s BFL^C: %s", d.Name, fmtBuild(row.BFLC.Total, row.BFLC.TimedOut))
+		row.BFLD = r.RunBFLD(g)
+		report(progress, "table6 %s BFL^D: %s", d.Name, fmtBuild(row.BFLD.Total, row.BFLD.TimedOut))
+		row.TOL = r.RunTOL(g, ord)
+		report(progress, "table6 %s TOL: %s", d.Name, fmtBuild(row.TOL.Total, row.TOL.TimedOut))
+		row.DRLb = r.RunDRLb(g, ord)
+		report(progress, "table6 %s DRL_b: %s", d.Name, fmtBuild(row.DRLb.Total, row.DRLb.TimedOut))
+		row.DRLbM = r.RunDRLbM(g, ord)
+		report(progress, "table6 %s DRL_b^M: %s", d.Name, fmtBuild(row.DRLbM.Total, row.DRLbM.TimedOut))
+
+		if row.TOL.Index != nil && row.DRLb.Index != nil && !row.TOL.Index.Equal(row.DRLb.Index) {
+			return nil, fmt.Errorf("bench: %s: DRL_b index differs from TOL: %s",
+				d.Name, row.TOL.Index.Diff(row.DRLb.Index))
+		}
+
+		if row.BFLC.Index != nil {
+			row.QueryBFLC = r.QueryBFLC(g, row.BFLC.Index)
+		}
+		if row.BFLD.Index != nil {
+			row.QueryBFLD = r.QueryBFLD(g, row.BFLD.Index)
+		}
+		if idx := firstIndex(row.DRLb, row.DRLbM, row.TOL); idx != nil {
+			row.QueryIdx = r.QueryIndex(idx.Index)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func firstIndex(rs ...BuildResult) *BuildResult {
+	for i := range rs {
+		if rs[i].Index != nil {
+			return &rs[i]
+		}
+	}
+	return nil
+}
+
+// Fig5Row holds the communication/computation split of Exp 4 for one
+// dataset.
+type Fig5Row struct {
+	Dataset  string
+	DRLMinus BuildResult
+	DRL      BuildResult
+	DRLb     BuildResult
+}
+
+// Fig5 measures DRL⁻, DRL, and DRL_b on the medium graphs, splitting
+// index time into computation and communication.
+func (r *Runner) Fig5(ds []Dataset, progress func(string)) ([]Fig5Row, error) {
+	rows := make([]Fig5Row, 0, len(ds))
+	for _, d := range ds {
+		g, err := d.Build()
+		if err != nil {
+			return nil, fmt.Errorf("bench: building %s: %w", d.Name, err)
+		}
+		ord := order.Compute(g)
+		row := Fig5Row{Dataset: d.Name}
+		row.DRLMinus = r.RunDRLMinus(g, ord)
+		report(progress, "fig5 %s DRL-: %s", d.Name, fmtBuild(row.DRLMinus.Total, row.DRLMinus.TimedOut))
+		row.DRL = r.RunDRL(g, ord)
+		report(progress, "fig5 %s DRL: %s", d.Name, fmtBuild(row.DRL.Total, row.DRL.TimedOut))
+		row.DRLb = r.RunDRLb(g, ord)
+		report(progress, "fig5 %s DRLb: %s", d.Name, fmtBuild(row.DRLb.Total, row.DRLb.TimedOut))
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig6WorkerCounts is the node-count sweep of Exp 5.
+var Fig6WorkerCounts = []int{1, 2, 4, 8, 16, 32}
+
+// Fig6Row holds the index times of one algorithm on one dataset
+// across worker counts; Speedup derives the paper's ratio.
+type Fig6Row struct {
+	Dataset string
+	Algo    string
+	Workers []int
+	Times   []BuildResult
+}
+
+// Speedup returns time(1 node)/time(p nodes), or 0 when either run
+// timed out.
+func (f Fig6Row) Speedup(i int) float64 {
+	if len(f.Times) == 0 || f.Times[0].TimedOut || f.Times[i].TimedOut {
+		return 0
+	}
+	if f.Times[i].Total <= 0 {
+		return 0
+	}
+	return float64(f.Times[0].Total) / float64(f.Times[i].Total)
+}
+
+// Fig6 sweeps the worker count for the three proposed algorithms.
+func (r *Runner) Fig6(ds []Dataset, progress func(string)) ([]Fig6Row, error) {
+	var rows []Fig6Row
+	for _, d := range ds {
+		g, err := d.Build()
+		if err != nil {
+			return nil, fmt.Errorf("bench: building %s: %w", d.Name, err)
+		}
+		ord := order.Compute(g)
+		algos := []struct {
+			name string
+			run  func(p int) BuildResult
+		}{
+			{"DRL-", func(p int) BuildResult { return r.RunDRLMinusWorkers(g, ord, p) }},
+			{"DRL", func(p int) BuildResult { return r.RunDRLWorkers(g, ord, p) }},
+			{"DRLb", func(p int) BuildResult { return r.RunDRLbParams(g, ord, drl.DefaultBatchParams(), p) }},
+		}
+		for _, a := range algos {
+			row := Fig6Row{Dataset: d.Name, Algo: a.name, Workers: Fig6WorkerCounts}
+			for _, p := range Fig6WorkerCounts {
+				res := a.run(p)
+				row.Times = append(row.Times, res)
+				report(progress, "fig6 %s %s p=%d: %s", d.Name, a.name, p, fmtBuild(res.Total, res.TimedOut))
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// Fig7Fractions is the edge-prefix sweep of Exp 6.
+var Fig7Fractions = []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+
+// Fig7Row holds one algorithm's index times over growing edge
+// prefixes of one dataset.
+type Fig7Row struct {
+	Dataset   string
+	Algo      string
+	Fractions []float64
+	Times     []BuildResult
+}
+
+// Fig7 runs the scalability sweep: the i-th test graph holds the
+// first i/5 of the dataset's edge stream.
+func (r *Runner) Fig7(ds []Dataset, progress func(string)) ([]Fig7Row, error) {
+	var rows []Fig7Row
+	for _, d := range ds {
+		edges, err := genEdges(d)
+		if err != nil {
+			return nil, err
+		}
+		algos := []struct {
+			name string
+			run  func(g *graph.Digraph, ord *order.Ordering) BuildResult
+		}{
+			{"DRL-", r.RunDRLMinus},
+			{"DRL", r.RunDRL},
+			{"DRLb", r.RunDRLb},
+		}
+		for _, a := range algos {
+			row := Fig7Row{Dataset: d.Name, Algo: a.name, Fractions: Fig7Fractions}
+			for _, frac := range Fig7Fractions {
+				g := graph.FromEdges(d.Params.N, graph.EdgePrefix(edges, frac))
+				ord := order.Compute(g)
+				res := a.run(g, ord)
+				row.Times = append(row.Times, res)
+				report(progress, "fig7 %s %s %.0f%%: %s", d.Name, a.name, frac*100, fmtBuild(res.Total, res.TimedOut))
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// Fig8Sizes is the initial-batch-size sweep of Exp 7.
+var Fig8Sizes = []int{1, 2, 4, 8, 16, 32, 64, 128}
+
+// Fig8Row holds DRL_b index times across initial batch sizes b.
+type Fig8Row struct {
+	Dataset string
+	Sizes   []int
+	Times   []BuildResult
+}
+
+// Fig8 sweeps the initial batch size b with k = 2.
+func (r *Runner) Fig8(ds []Dataset, progress func(string)) ([]Fig8Row, error) {
+	return r.sweepBatch(ds, progress, "fig8", Fig8Sizes, nil)
+}
+
+// Fig9Factors is the increment-factor sweep of Exp 8.
+var Fig9Factors = []float64{1, 1.5, 2, 2.5, 3, 3.5, 4}
+
+// Fig9Row holds DRL_b index times across increment factors k.
+type Fig9Row struct {
+	Dataset string
+	Factors []float64
+	Times   []BuildResult
+}
+
+// Fig9 sweeps the increment factor k with b = 2.
+func (r *Runner) Fig9(ds []Dataset, progress func(string)) ([]Fig9Row, error) {
+	var rows []Fig9Row
+	for _, d := range ds {
+		g, err := d.Build()
+		if err != nil {
+			return nil, fmt.Errorf("bench: building %s: %w", d.Name, err)
+		}
+		ord := order.Compute(g)
+		row := Fig9Row{Dataset: d.Name, Factors: Fig9Factors}
+		for _, k := range Fig9Factors {
+			res := r.RunDRLbParams(g, ord, drl.BatchParams{InitialSize: 2, Factor: k}, r.Workers)
+			row.Times = append(row.Times, res)
+			report(progress, "fig9 %s k=%.1f: %s", d.Name, k, fmtBuild(res.Total, res.TimedOut))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func (r *Runner) sweepBatch(ds []Dataset, progress func(string), tag string, sizes []int, _ []float64) ([]Fig8Row, error) {
+	var rows []Fig8Row
+	for _, d := range ds {
+		g, err := d.Build()
+		if err != nil {
+			return nil, fmt.Errorf("bench: building %s: %w", d.Name, err)
+		}
+		ord := order.Compute(g)
+		row := Fig8Row{Dataset: d.Name, Sizes: sizes}
+		for _, b := range sizes {
+			res := r.RunDRLbParams(g, ord, drl.BatchParams{InitialSize: b, Factor: 2}, r.Workers)
+			row.Times = append(row.Times, res)
+			report(progress, "%s %s b=%d: %s", tag, d.Name, b, fmtBuild(res.Total, res.TimedOut))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func genEdges(d Dataset) ([]graph.Edge, error) {
+	edges, err := genEdgesParams(d)
+	if err != nil {
+		return nil, fmt.Errorf("bench: generating %s: %w", d.Name, err)
+	}
+	return edges, nil
+}
+
+func report(progress func(string), format string, args ...any) {
+	if progress != nil {
+		progress(fmt.Sprintf(format, args...))
+	}
+}
+
+func fmtBuild(d time.Duration, inf bool) string {
+	if inf {
+		return "INF"
+	}
+	return d.Round(time.Millisecond).String()
+}

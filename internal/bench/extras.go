@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/grail"
+	"repro/internal/order"
+)
+
+// Extras: a cross-family index comparison beyond the paper's own
+// baselines — interval labeling (GRAIL, related work [7]) against the
+// Bloom-filter labeling (BFL^C) and the index-only TOL/DRL_b index.
+// The shape to expect: GRAIL builds fastest and smallest, BFL next,
+// both at the cost of fallback graph searches; the TOL index is the
+// only one that never touches the graph at query time.
+
+// ExtrasRow compares the three index families on one dataset.
+type ExtrasRow struct {
+	Dataset string
+
+	GrailBuild time.Duration
+	GrailBytes int64
+	GrailQuery time.Duration
+
+	BFLBuild time.Duration
+	BFLBytes int64
+	BFLQuery time.Duration
+
+	TOLBuild time.Duration
+	TOLBytes int64
+	TOLQuery time.Duration
+}
+
+// Extras runs the cross-family comparison.
+func (r *Runner) Extras(ds []Dataset, progress func(string)) ([]ExtrasRow, error) {
+	var rows []ExtrasRow
+	for _, d := range ds {
+		g, err := d.Build()
+		if err != nil {
+			return nil, fmt.Errorf("bench: building %s: %w", d.Name, err)
+		}
+		row := ExtrasRow{Dataset: d.Name}
+		pairs := queryPairs(g.NumVertices(), min(r.Queries, 5000), 7)
+
+		start := time.Now()
+		gx, err := grail.Build(g, grail.Options{Seed: 7})
+		if err != nil {
+			return nil, err
+		}
+		row.GrailBuild = time.Since(start)
+		row.GrailBytes = gx.SizeBytes()
+		start = time.Now()
+		for _, p := range pairs {
+			gx.Reachable(p.U, p.V)
+		}
+		row.GrailQuery = time.Since(start) / time.Duration(len(pairs))
+		report(progress, "extras %s GRAIL: build %v", d.Name, row.GrailBuild.Round(time.Millisecond))
+
+		bres := r.RunBFLC(g)
+		row.BFLBuild = bres.Total
+		row.BFLBytes = bres.Bytes
+		if bres.Index != nil {
+			start = time.Now()
+			for _, p := range pairs {
+				bres.Index.Reachable(g, p.U, p.V)
+			}
+			row.BFLQuery = time.Since(start) / time.Duration(len(pairs))
+		}
+		report(progress, "extras %s BFL^C: build %v", d.Name, row.BFLBuild.Round(time.Millisecond))
+
+		ord := order.Compute(g)
+		tres := r.RunDRLbM(g, ord)
+		row.TOLBuild = tres.Total
+		row.TOLBytes = tres.Bytes
+		if tres.Index != nil {
+			start = time.Now()
+			for _, p := range pairs {
+				tres.Index.Reachable(p.U, p.V)
+			}
+			row.TOLQuery = time.Since(start) / time.Duration(len(pairs))
+		}
+		report(progress, "extras %s TOL-index: build %v", d.Name, row.TOLBuild.Round(time.Millisecond))
+
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintExtras renders the cross-family comparison.
+func PrintExtras(w io.Writer, rows []ExtrasRow) {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Dataset\tGRAIL build\tBFL build\tTOL-idx build\tGRAIL MB\tBFL MB\tTOL MB\tGRAIL q(s)\tBFL q(s)\tTOL q(s)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%.2f\t%s\t%s\t%s\t%s\t%s\t%s\n",
+			r.Dataset,
+			r.GrailBuild.Seconds(), r.BFLBuild.Seconds(), r.TOLBuild.Seconds(),
+			mb(r.GrailBytes, false), mb(r.BFLBytes, false), mb(r.TOLBytes, false),
+			sci(r.GrailQuery, r.GrailQuery == 0),
+			sci(r.BFLQuery, r.BFLQuery == 0),
+			sci(r.TOLQuery, r.TOLQuery == 0))
+	}
+	tw.Flush()
+}

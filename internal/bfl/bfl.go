@@ -1,0 +1,132 @@
+// Package bfl implements the Bloom-Filter Labeling baseline of Su et
+// al. ("Reachability Querying: Can It Be Even Faster?", TKDE 2017),
+// the index-assisted competitor of Exp 2.
+//
+// BFL assigns each vertex a DFS interval (a positive certificate for
+// tree reachability) and two Bloom labels: L_out(v) over-approximates
+// the hashed descendant set h(DES(v)) and L_in(v) the hashed ancestor
+// set. Queries use three O(1) tests — interval containment for "yes",
+// and the label-containment conditions DES(t) ⊆ DES(s) /
+// ANC(s) ⊆ ANC(t) for "no" — and fall back to a label-pruned graph
+// search when neither test decides. That fallback is why BFL, unlike
+// TOL/DRL, must keep the graph available at query time; on a
+// distributed graph it turns every undecided query into a distributed
+// traversal (see distributed.go), the behaviour Table VI documents.
+package bfl
+
+import (
+	"repro/internal/graph"
+)
+
+// DefaultBits is the default Bloom label width in bits.
+const DefaultBits = 256
+
+// Index is the BFL reachability index.
+type Index struct {
+	n     int
+	words int // bloom words per label
+
+	// DFS intervals: pre/post discovery and finish ranks. t is a
+	// DFS-tree descendant of s iff pre[s] <= pre[t] && post[t] <= post[s].
+	pre, post []int32
+
+	// Bloom labels, n*words each.
+	labelOut []uint64
+	labelIn  []uint64
+
+	// hashBit[v] is the bloom bit assigned to v.
+	hashBit []int32
+}
+
+// hashVertex spreads vertex IDs over the bloom bits (splitmix64).
+func hashVertex(v graph.VertexID, bits int) int32 {
+	x := uint64(v) + 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return int32(x % uint64(bits))
+}
+
+// NumVertices returns the number of vertices the index covers.
+func (x *Index) NumVertices() int { return x.n }
+
+// SizeBytes reports the index footprint: intervals plus both bloom
+// labels (how the paper accounts BFL's index size).
+func (x *Index) SizeBytes() int64 {
+	return int64(x.n)*(4+4+4) + int64(len(x.labelOut)+len(x.labelIn))*8
+}
+
+func (x *Index) out(v graph.VertexID) []uint64 {
+	return x.labelOut[int(v)*x.words : (int(v)+1)*x.words]
+}
+
+func (x *Index) in(v graph.VertexID) []uint64 {
+	return x.labelIn[int(v)*x.words : (int(v)+1)*x.words]
+}
+
+// subset reports a ⊆ b for equal-length bitsets.
+func subset(a, b []uint64) bool {
+	for i := range a {
+		if a[i]&^b[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// treeDescendant reports whether t is a DFS-tree descendant of s —
+// a positive reachability certificate.
+func (x *Index) treeDescendant(s, t graph.VertexID) bool {
+	return x.pre[s] <= x.pre[t] && x.post[t] <= x.post[s]
+}
+
+// labelsRuleOut reports whether the Bloom labels prove ¬(s→t).
+func (x *Index) labelsRuleOut(s, t graph.VertexID) bool {
+	return !subset(x.out(t), x.out(s)) || !subset(x.in(s), x.in(t))
+}
+
+// Reachable answers q(s,t). The graph must be the one the index was
+// built from: BFL needs it for the fallback search.
+func (x *Index) Reachable(g *graph.Digraph, s, t graph.VertexID) bool {
+	reach, _ := x.ReachableCounted(g, s, t)
+	return reach
+}
+
+// ReachableCounted additionally reports how many vertices the
+// fallback search expanded (0 when the labels decided the query) —
+// the statistic that explains BFL's distributed query cost.
+func (x *Index) ReachableCounted(g *graph.Digraph, s, t graph.VertexID) (bool, int) {
+	if s == t {
+		return true, 0
+	}
+	if x.treeDescendant(s, t) {
+		return true, 0
+	}
+	if x.labelsRuleOut(s, t) {
+		return false, 0
+	}
+	// Label-pruned DFS from s toward t.
+	visited := make(map[graph.VertexID]struct{}, 64)
+	stack := []graph.VertexID{s}
+	visited[s] = struct{}{}
+	expanded := 0
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		expanded++
+		for _, w := range g.OutNeighbors(u) {
+			if _, ok := visited[w]; ok {
+				continue
+			}
+			if w == t || x.treeDescendant(w, t) {
+				return true, expanded
+			}
+			if x.labelsRuleOut(w, t) {
+				continue
+			}
+			visited[w] = struct{}{}
+			stack = append(stack, w)
+		}
+	}
+	return false, expanded
+}

@@ -1,0 +1,131 @@
+package bfl
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/netsim"
+)
+
+func randomDigraph(n, m int, seed int64) *graph.Digraph {
+	rng := rand.New(rand.NewSource(seed))
+	var edges []graph.Edge
+	for i := 0; i < m; i++ {
+		edges = append(edges, graph.Edge{
+			U: graph.VertexID(rng.Intn(n)),
+			V: graph.VertexID(rng.Intn(n)),
+		})
+	}
+	return graph.FromEdges(n, edges)
+}
+
+func testGraphs() map[string]*graph.Digraph {
+	return map[string]*graph.Digraph{
+		"paper-example": graph.PaperExample(),
+		"singleton":     graph.FromEdges(1, nil),
+		"two-cycle":     graph.FromEdges(2, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 0}}),
+		"path": graph.FromEdges(5, []graph.Edge{
+			{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4},
+		}),
+		"rand-cyclic": randomDigraph(40, 120, 5),
+		"rand-sparse": randomDigraph(60, 70, 6),
+	}
+}
+
+// TestBFLExact verifies BFL answers every pair correctly (the labels
+// only ever prune; the fallback DFS keeps it exact), on cyclic inputs
+// included — the paper's setting.
+func TestBFLExact(t *testing.T) {
+	for name, g := range testGraphs() {
+		x, err := Build(g, Options{Bits: 128})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		n := g.NumVertices()
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				want := graph.Reachable(g, graph.VertexID(s), graph.VertexID(d))
+				if got := x.Reachable(g, graph.VertexID(s), graph.VertexID(d)); got != want {
+					t.Fatalf("%s: q(%d,%d) = %v, want %v", name, s, d, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestBFLDistributedMatchesCentralized checks that the token-passing
+// DFS and parallel label propagation reproduce the centralized index:
+// identical intervals and identical Bloom labels.
+func TestBFLDistributedMatchesCentralized(t *testing.T) {
+	for name, g := range testGraphs() {
+		want, err := Build(g, Options{Bits: 128})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, p := range []int{1, 3, 4} {
+			got, met, err := BuildDistributed(g, Options{Bits: 128}, DistOptions{Workers: p})
+			if err != nil {
+				t.Fatalf("%s p=%d: %v", name, p, err)
+			}
+			for v := 0; v < g.NumVertices(); v++ {
+				if want.pre[v] != got.pre[v] || want.post[v] != got.post[v] {
+					t.Fatalf("%s p=%d: intervals differ at v%d: (%d,%d) vs (%d,%d)",
+						name, p, v, want.pre[v], want.post[v], got.pre[v], got.post[v])
+				}
+			}
+			for i := range want.labelOut {
+				if want.labelOut[i] != got.labelOut[i] {
+					t.Fatalf("%s p=%d: out-label word %d differs", name, p, i)
+				}
+			}
+			for i := range want.labelIn {
+				if want.labelIn[i] != got.labelIn[i] {
+					t.Fatalf("%s p=%d: in-label word %d differs", name, p, i)
+				}
+			}
+			if p > 1 && met.Supersteps < g.NumVertices() {
+				t.Errorf("%s p=%d: token DFS should need ≥ n supersteps, got %d",
+					name, p, met.Supersteps)
+			}
+		}
+	}
+}
+
+// TestBFLDistributedQuery checks the distributed query both answers
+// correctly and charges network time for cross-partition work.
+func TestBFLDistributedQuery(t *testing.T) {
+	g := randomDigraph(50, 140, 11)
+	x, err := Build(g, Options{Bits: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := netsim.Commodity()
+	var anySim bool
+	for s := 0; s < 50; s++ {
+		for d := 0; d < 50; d++ {
+			want := graph.Reachable(g, graph.VertexID(s), graph.VertexID(d))
+			got, sim := x.ReachableDistributed(g, graph.VertexID(s), graph.VertexID(d), 8, model)
+			if got != want {
+				t.Fatalf("q(%d,%d) = %v, want %v", s, d, got, want)
+			}
+			if sim > 0 {
+				anySim = true
+			}
+		}
+	}
+	if !anySim {
+		t.Error("expected some queries to pay simulated network time")
+	}
+}
+
+// TestBFLBadBits rejects invalid label widths.
+func TestBFLBadBits(t *testing.T) {
+	g := graph.PaperExample()
+	if _, err := Build(g, Options{Bits: 100}); err == nil {
+		t.Error("expected error for bits not a multiple of 64")
+	}
+	if _, err := Build(g, Options{Bits: -64}); err == nil {
+		t.Error("expected error for negative bits")
+	}
+}

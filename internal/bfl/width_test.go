@@ -1,0 +1,59 @@
+package bfl
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestBloomWidthReducesFallbacks: wider Bloom labels rule out more
+// unreachable pairs without the fallback search — the s parameter's
+// purpose in the BFL design.
+func TestBloomWidthReducesFallbacks(t *testing.T) {
+	g := randomDigraph(300, 900, 15)
+	narrow, err := Build(g, Options{Bits: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := Build(g, Options{Bits: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(16))
+	var en, ew int
+	for i := 0; i < 4000; i++ {
+		s := graph300(rng)
+		d := graph300(rng)
+		rn, cn := narrow.ReachableCounted(g, s, d)
+		rw, cw := wide.ReachableCounted(g, s, d)
+		if rn != rw {
+			t.Fatalf("widths disagree on (%d,%d)", s, d)
+		}
+		en += cn
+		ew += cw
+	}
+	if ew > en {
+		t.Errorf("1024-bit labels expanded more (%d) than 64-bit (%d)", ew, en)
+	}
+}
+
+func graph300(rng *rand.Rand) graph.VertexID {
+	return graph.VertexID(rng.Intn(300))
+}
+
+// TestIndexSizeScalesWithBits.
+func TestIndexSizeScalesWithBits(t *testing.T) {
+	g := randomDigraph(100, 200, 1)
+	a, err := Build(g, Options{Bits: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(g, Options{Bits: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.SizeBytes() <= a.SizeBytes() {
+		t.Errorf("wider labels must cost more: %d vs %d", a.SizeBytes(), b.SizeBytes())
+	}
+}

@@ -1,0 +1,124 @@
+package distlab
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/order"
+	"repro/internal/tol"
+)
+
+// bfsDistances is the oracle: single-source BFS distances.
+func bfsDistances(g *graph.Digraph, s graph.VertexID) []int32 {
+	n := g.NumVertices()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = Infinity
+	}
+	dist[s] = 0
+	queue := []graph.VertexID{s}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, w := range g.OutNeighbors(u) {
+			if dist[w] == Infinity {
+				dist[w] = dist[u] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+func randomDigraph(n, m int, seed int64) *graph.Digraph {
+	rng := rand.New(rand.NewSource(seed))
+	var edges []graph.Edge
+	for i := 0; i < m; i++ {
+		edges = append(edges, graph.Edge{
+			U: graph.VertexID(rng.Intn(n)),
+			V: graph.VertexID(rng.Intn(n)),
+		})
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// TestDistancesExact: PLL answers every pair exactly, cyclic graphs
+// included.
+func TestDistancesExact(t *testing.T) {
+	graphs := map[string]*graph.Digraph{
+		"paper":  graph.PaperExample(),
+		"cyclic": randomDigraph(40, 120, 2),
+		"sparse": randomDigraph(60, 70, 3),
+		"path": graph.FromEdges(6, []graph.Edge{
+			{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 4, V: 5},
+		}),
+	}
+	for name, g := range graphs {
+		ord := order.Compute(g)
+		x, err := Build(g, ord, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		n := g.NumVertices()
+		for s := 0; s < n; s++ {
+			want := bfsDistances(g, graph.VertexID(s))
+			for d := 0; d < n; d++ {
+				if got := x.Distance(graph.VertexID(s), graph.VertexID(d)); got != want[d] {
+					t.Fatalf("%s: dist(%d,%d) = %d, want %d", name, s, d, got, want[d])
+				}
+			}
+		}
+	}
+}
+
+// TestDistanceLabelsDwarfReachabilityLabels demonstrates the §V
+// claim: on the same graph and order, the PLL distance index carries
+// far more entries than the TOL reachability index, because distance
+// labels can only prune through landmarks on *shortest* paths.
+func TestDistanceLabelsDwarfReachabilityLabels(t *testing.T) {
+	g := randomDigraph(300, 900, 5)
+	ord := order.Compute(g)
+	pll, err := Build(g, ord, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reach := tol.Build(g, ord)
+	if pll.Entries() <= reach.Entries() {
+		t.Errorf("distance labels (%d entries) should exceed reachability labels (%d)",
+			pll.Entries(), reach.Entries())
+	}
+	if pll.SizeBytes() <= 0 {
+		t.Error("SizeBytes must be positive")
+	}
+	t.Logf("distance %d entries vs reachability %d entries (%.1fx)",
+		pll.Entries(), reach.Entries(), float64(pll.Entries())/float64(reach.Entries()))
+}
+
+func TestBuildCancel(t *testing.T) {
+	g := randomDigraph(2000, 8000, 9)
+	cancel := make(chan struct{})
+	close(cancel)
+	if _, err := Build(g, order.Compute(g), cancel); err == nil {
+		t.Error("expected cancellation")
+	}
+}
+
+func TestEmptyAndTrivial(t *testing.T) {
+	g := graph.FromEdges(1, nil)
+	x, err := Build(g, order.Compute(g), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Distance(0, 0) != 0 {
+		t.Error("self distance must be 0")
+	}
+	two := graph.FromEdges(2, nil)
+	x, err = Build(two, order.Compute(two), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Distance(0, 1) != Infinity {
+		t.Error("disconnected pair must be Infinity")
+	}
+}

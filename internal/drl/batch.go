@@ -1,0 +1,207 @@
+package drl
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/label"
+	"repro/internal/order"
+)
+
+// BatchParams controls the batch sequence of §IV: the initial batch
+// size b and the increment factor k. The paper's defaults are b = 2,
+// k = 2; k = 1 degenerates to fixed-size batches (and is the
+// pathological configuration of Exp 8).
+type BatchParams struct {
+	InitialSize int
+	Factor      float64
+}
+
+// DefaultBatchParams returns the paper's default b = 2, k = 2.
+func DefaultBatchParams() BatchParams { return BatchParams{InitialSize: 2, Factor: 2} }
+
+func (p BatchParams) normalized() (BatchParams, error) {
+	if p.InitialSize == 0 {
+		p.InitialSize = 2
+	}
+	if p.Factor == 0 {
+		p.Factor = 2
+	}
+	if p.InitialSize < 0 {
+		return p, fmt.Errorf("drl: initial batch size %d must be positive", p.InitialSize)
+	}
+	if p.Factor < 1 {
+		return p, fmt.Errorf("drl: batch factor %g must be >= 1", p.Factor)
+	}
+	return p, nil
+}
+
+// Span is a half-open rank interval [Lo, Hi) forming one batch.
+type Span struct {
+	Lo, Hi order.Rank
+}
+
+// Size returns the number of vertices in the batch.
+func (s Span) Size() int { return int(s.Hi - s.Lo) }
+
+// BatchSequence splits the n ranks into the batch sequence
+// [V_1, …, V_g] of Definition 7: batch i takes the next ⌊b·k^(i-1)⌋
+// highest-order vertices (at least one per batch).
+func BatchSequence(n int, p BatchParams) ([]Span, error) {
+	p, err := p.normalized()
+	if err != nil {
+		return nil, err
+	}
+	var spans []Span
+	cur := float64(p.InitialSize)
+	lo := order.Rank(0)
+	for int(lo) < n {
+		size := int(cur)
+		if size < 1 {
+			size = 1
+		}
+		hi := lo + order.Rank(size)
+		if int(hi) > n {
+			hi = order.Rank(n)
+		}
+		spans = append(spans, Span{Lo: lo, Hi: hi})
+		lo = hi
+		cur *= p.Factor
+	}
+	return spans, nil
+}
+
+// BuildBatch is DRL_b (§IV): vertices are labeled batch by batch in
+// decreasing order; inside a batch everything runs in parallel with
+// the DRL machinery, while the label sets accumulated from previous
+// batches provide TOL-style pruning — the trimmed BFS additionally
+// blocks at any vertex w with L_out(v) ∩ L_in(w) ≠ ∅ over the
+// already-final labels, which is exactly "a previously-labeled vertex
+// lies on a v→w walk".
+//
+// With Options.Workers = GOMAXPROCS this is the multi-core DRL_b^M of
+// Exp 3; the vertex-centric implementation is BuildDistributed with
+// DistOptions.Batch set.
+func BuildBatch(g *graph.Digraph, ord *order.Ordering, bp BatchParams, opt Options) (*label.Index, error) {
+	n := g.NumVertices()
+	spans, err := BatchSequence(n, bp)
+	if err != nil {
+		return nil, err
+	}
+	inv := g.Inverse()
+	in := make([][]order.Rank, n)
+	out := make([][]order.Rank, n)
+
+	type scratch struct {
+		visit []int32 // epoch at which the vertex joined BFS_low
+		block []int32 // epoch at which expansion into the vertex was blocked
+		epoch int32
+		queue []graph.VertexID
+	}
+	scratches := make([]*scratch, opt.workers())
+	for i := range scratches {
+		scratches[i] = &scratch{visit: make([]int32, n), block: make([]int32, n)}
+	}
+
+	// batchTrimmed is the trimmed BFS with batch-label pruning: the
+	// expansion into w is blocked both at higher-order vertices
+	// (Algorithm 2) and where srcLab ∩ tgtLab[w] ≠ ∅ — a vertex from a
+	// previous batch lies on a v→w walk (Algorithm 4).
+	batchTrimmed := func(dir *graph.Digraph, s *scratch, v graph.VertexID, rv order.Rank, srcLab []order.Rank, tgtLab [][]order.Rank) []graph.VertexID {
+		s.epoch++
+		ep := s.epoch
+		s.queue = s.queue[:0]
+		s.queue = append(s.queue, v)
+		s.visit[v] = ep
+		low := make([]graph.VertexID, 1, 8)
+		low[0] = v
+		for head := 0; head < len(s.queue); head++ {
+			u := s.queue[head]
+			for _, w := range dir.OutNeighbors(u) {
+				if s.visit[w] == ep || s.block[w] == ep {
+					continue
+				}
+				if ord.RankOf(w) <= rv || !disjointRanks(srcLab, tgtLab[w]) {
+					s.block[w] = ep
+					continue
+				}
+				s.visit[w] = ep
+				s.queue = append(s.queue, w)
+				low = append(low, w)
+			}
+		}
+		return low
+	}
+
+	for _, span := range spans {
+		fwdLows := make([][]graph.VertexID, span.Size())
+		bwdLows := make([][]graph.VertexID, span.Size())
+		err := parallelRanks(span.Lo, span.Hi, opt.workers(), opt.Cancel, func(wk int, r order.Rank) {
+			v := ord.VertexAt(r)
+			// Self pruning (Algorithm 4 line 6): a higher-order vertex
+			// on a cycle through v means v joins no label set at all.
+			if !disjointRanks(out[v], in[v]) {
+				return
+			}
+			s := scratches[wk]
+			fwdLows[r-span.Lo] = batchTrimmed(g, s, v, r, out[v], in)
+			bwdLows[r-span.Lo] = batchTrimmed(inv, s, v, r, in[v], out)
+		})
+		if err != nil {
+			return nil, err
+		}
+		visitedFwd := invertLowsAt(n, fwdLows, span.Lo)
+		visitedBwd := invertLowsAt(n, bwdLows, span.Lo)
+
+		// In-batch refinement (Lemma 5) plus label append; new ranks
+		// all exceed previously appended ones, so lists stay sorted.
+		err = parallelRanks(0, order.Rank(n), opt.workers(), opt.Cancel, func(_ int, i order.Rank) {
+			w := graph.VertexID(i)
+			fRow := visitedFwd.Row(w)
+			bRow := visitedBwd.Row(w)
+			for _, rv := range fRow {
+				v := ord.VertexAt(rv)
+				if disjointBelow(visitedBwd.Row(v), fRow, rv) {
+					in[w] = append(in[w], rv)
+				}
+			}
+			for _, rv := range bRow {
+				v := ord.VertexAt(rv)
+				if disjointBelow(visitedFwd.Row(v), bRow, rv) {
+					out[w] = append(out[w], rv)
+				}
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return label.FromLists(ord, in, out), nil
+}
+
+// invertLowsAt is invertLows for a batch: lows[i] belongs to the
+// source with rank base+i.
+func invertLowsAt(n int, lows [][]graph.VertexID, base order.Rank) *rankLists {
+	t := &rankLists{off: make([]int64, n+1)}
+	var total int64
+	counts := make([]int64, n)
+	for _, low := range lows {
+		total += int64(len(low))
+		for _, w := range low {
+			counts[w]++
+		}
+	}
+	for v := 0; v < n; v++ {
+		t.off[v+1] = t.off[v] + counts[v]
+	}
+	t.data = make([]order.Rank, total)
+	cursor := make([]int64, n)
+	copy(cursor, t.off[:n])
+	for i, low := range lows {
+		for _, w := range low {
+			t.data[cursor[w]] = base + order.Rank(i)
+			cursor[w]++
+		}
+	}
+	return t
+}

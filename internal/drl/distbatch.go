@@ -1,0 +1,299 @@
+package drl
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/label"
+	"repro/internal/order"
+	"repro/internal/pregel"
+)
+
+// Distributed DRL_b (Algorithm 4). The driver runs one engine run per
+// batch over a persistent worker set. Within a batch the program is
+// DRL (trimmed-BFS flood + inverted-list Check); across batches the
+// accumulated label sets provide TOL-style pruning: each batch source
+// broadcasts its prior labels (line 8) and every expansion into w is
+// additionally blocked when L_out(v) ∩ L_in(w) ≠ ∅ over prior batches
+// (line 12).
+
+// Broadcast blob tags. kindFwd/kindBwd (0/1) tag visit-event blobs;
+// blobLabels tags the batch-label share of Algorithm 4 line 8.
+const blobLabels uint8 = 2
+
+// batchShared is the replicated state for one batch: the prior labels
+// of the batch sources and the in-batch inverted lists.
+type batchShared struct {
+	ord     *order.Ordering
+	span    Span
+	cancel  <-chan struct{}
+	srcOut  map[graph.VertexID][]order.Rank
+	srcIn   map[graph.VertexID][]order.Rank
+	ibfsFwd map[graph.VertexID][]order.Rank
+	ibfsBwd map[graph.VertexID][]order.Rank
+}
+
+func newBatchShared(ord *order.Ordering, span Span) *batchShared {
+	return &batchShared{
+		ord:     ord,
+		span:    span,
+		srcOut:  make(map[graph.VertexID][]order.Rank),
+		srcIn:   make(map[graph.VertexID][]order.Rank),
+		ibfsFwd: make(map[graph.VertexID][]order.Rank),
+		ibfsBwd: make(map[graph.VertexID][]order.Rank),
+	}
+}
+
+// batchLocal is one worker's persistent state: the accumulated label
+// lists of its owned vertices, plus the per-batch visit status.
+type batchLocal struct {
+	in      map[graph.VertexID][]order.Rank
+	out     map[graph.VertexID][]order.Rank
+	seen    map[uint64]struct{}
+	listFwd map[graph.VertexID][]order.Rank
+	listBwd map[graph.VertexID][]order.Rank
+}
+
+type batchProgram struct {
+	shared *batchShared
+}
+
+func (p *batchProgram) PreStep(workers []*pregel.Worker, step int) error {
+	if len(workers) == 0 {
+		return nil
+	}
+	for _, blob := range workers[0].BcastIn {
+		if len(blob) == 0 {
+			continue
+		}
+		if blob[0] == blobLabels {
+			p.applyLabels(blob[1:])
+			continue
+		}
+		s := p.shared
+		tgt := s.ibfsFwd
+		if blob[0] == kindBwd {
+			tgt = s.ibfsBwd
+		}
+		rest := blob[1:]
+		for len(rest) >= 8 {
+			x := graph.VertexID(binary.LittleEndian.Uint32(rest[0:4]))
+			r := order.Rank(binary.LittleEndian.Uint32(rest[4:8]))
+			tgt[x] = append(tgt[x], r)
+			rest = rest[8:]
+		}
+	}
+	return nil
+}
+
+func (p *batchProgram) applyLabels(blob []byte) {
+	for len(blob) >= 12 {
+		v := graph.VertexID(binary.LittleEndian.Uint32(blob[0:4]))
+		nOut := int(binary.LittleEndian.Uint32(blob[4:8]))
+		nIn := int(binary.LittleEndian.Uint32(blob[8:12]))
+		blob = blob[12:]
+		need := 4 * (nOut + nIn)
+		if len(blob) < need {
+			return // truncated blob: ignore remainder
+		}
+		outs := make([]order.Rank, nOut)
+		for i := 0; i < nOut; i++ {
+			outs[i] = order.Rank(binary.LittleEndian.Uint32(blob[4*i:]))
+		}
+		blob = blob[4*nOut:]
+		ins := make([]order.Rank, nIn)
+		for i := 0; i < nIn; i++ {
+			ins[i] = order.Rank(binary.LittleEndian.Uint32(blob[4*i:]))
+		}
+		blob = blob[4*nIn:]
+		p.shared.srcOut[v] = outs
+		p.shared.srcIn[v] = ins
+	}
+}
+
+func (p *batchProgram) Superstep(w *pregel.Worker, step int) (bool, error) {
+	ord := p.shared.ord
+	if step == 0 {
+		local, _ := w.State.(*batchLocal)
+		if local == nil {
+			local = &batchLocal{
+				in:  make(map[graph.VertexID][]order.Rank),
+				out: make(map[graph.VertexID][]order.Rank),
+			}
+			w.State = local
+		}
+		local.seen = make(map[uint64]struct{})
+		local.listFwd = make(map[graph.VertexID][]order.Rank)
+		local.listBwd = make(map[graph.VertexID][]order.Rank)
+
+		var labelBlob []byte
+		span := p.shared.span
+		w.OwnedVertices(func(v graph.VertexID) {
+			r := ord.RankOf(v)
+			if r < span.Lo || r >= span.Hi {
+				return
+			}
+			// Self pruning (line 6): a prior-batch vertex on a cycle
+			// through v covers everything v could label.
+			if !disjointRanks(local.out[v], local.in[v]) {
+				return
+			}
+			// Share the batch label sets (line 8).
+			labelBlob = appendLabelShare(labelBlob, v, local.out[v], local.in[v])
+			local.seen[seenKey(kindFwd, v, r)] = struct{}{}
+			local.seen[seenKey(kindBwd, v, r)] = struct{}{}
+			local.listFwd[v] = append(local.listFwd[v], r)
+			local.listBwd[v] = append(local.listBwd[v], r)
+			for _, nb := range w.Graph.OutNeighbors(v) {
+				w.Send(pregel.Msg{Dst: nb, Kind: kindFwd, Val: int32(r)})
+			}
+			for _, nb := range w.Graph.InNeighbors(v) {
+				w.Send(pregel.Msg{Dst: nb, Kind: kindBwd, Val: int32(r)})
+			}
+		})
+		if len(labelBlob) > 0 {
+			w.Broadcast(append([]byte{blobLabels}, labelBlob...))
+		}
+		return true, nil
+	}
+
+	local := w.State.(*batchLocal)
+	var pendFwd, pendBwd []byte
+	for i, m := range w.Inbox {
+		if stepCanceled(i, p.shared.cancel) {
+			return false, pregel.ErrCanceled
+		}
+		dst := m.Dst
+		r := order.Rank(m.Val)
+		if r >= ord.RankOf(dst) {
+			continue
+		}
+		key := seenKey(m.Kind, dst, r)
+		if _, ok := local.seen[key]; ok {
+			continue
+		}
+		v := ord.VertexAt(r)
+		// Batch-label pruning (line 12): a prior-batch vertex on a
+		// v→dst walk blocks the expansion permanently.
+		var ibfs []order.Rank
+		if m.Kind == kindFwd {
+			if !disjointRanks(p.shared.srcOut[v], local.in[dst]) {
+				continue
+			}
+			ibfs = p.shared.ibfsBwd[v]
+		} else {
+			if !disjointRanks(p.shared.srcIn[v], local.out[dst]) {
+				continue
+			}
+			ibfs = p.shared.ibfsFwd[v]
+		}
+		// In-batch Check (same as Algorithm 3).
+		if coveredBatch(local, m.Kind, dst, ibfs) {
+			continue
+		}
+		local.seen[key] = struct{}{}
+		var rec [8]byte
+		binary.LittleEndian.PutUint32(rec[0:4], uint32(dst))
+		binary.LittleEndian.PutUint32(rec[4:8], uint32(r))
+		if m.Kind == kindFwd {
+			local.listFwd[dst] = append(local.listFwd[dst], r)
+			pendFwd = append(pendFwd, rec[:]...)
+			for _, nb := range w.Graph.OutNeighbors(dst) {
+				w.Send(pregel.Msg{Dst: nb, Kind: kindFwd, Val: m.Val})
+			}
+		} else {
+			local.listBwd[dst] = append(local.listBwd[dst], r)
+			pendBwd = append(pendBwd, rec[:]...)
+			for _, nb := range w.Graph.InNeighbors(dst) {
+				w.Send(pregel.Msg{Dst: nb, Kind: kindBwd, Val: m.Val})
+			}
+		}
+	}
+	if len(pendFwd) > 0 {
+		w.Broadcast(append([]byte{kindFwd}, pendFwd...))
+	}
+	if len(pendBwd) > 0 {
+		w.Broadcast(append([]byte{kindBwd}, pendBwd...))
+	}
+	return len(w.Inbox) > 0 || len(w.BcastIn) > 0, nil
+}
+
+func coveredBatch(local *batchLocal, kind uint8, w graph.VertexID, ibfs []order.Rank) bool {
+	for _, u := range ibfs {
+		if _, ok := local.seen[seenKey(kind, w, u)]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Finish runs the end-of-batch cleanup and appends the surviving
+// ranks to the accumulated label lists (Algorithm 4 line 14).
+func (p *batchProgram) Finish(w *pregel.Worker) error {
+	local := w.State.(*batchLocal)
+	ord := p.shared.ord
+	for v, list := range local.listFwd {
+		keep := make([]order.Rank, 0, len(list))
+		for _, r := range list {
+			if !coveredBatch(local, kindFwd, v, p.shared.ibfsBwd[ord.VertexAt(r)]) {
+				keep = append(keep, r)
+			}
+		}
+		sort.Slice(keep, func(i, j int) bool { return keep[i] < keep[j] })
+		local.in[v] = append(local.in[v], keep...)
+	}
+	for v, list := range local.listBwd {
+		keep := make([]order.Rank, 0, len(list))
+		for _, r := range list {
+			if !coveredBatch(local, kindBwd, v, p.shared.ibfsFwd[ord.VertexAt(r)]) {
+				keep = append(keep, r)
+			}
+		}
+		sort.Slice(keep, func(i, j int) bool { return keep[i] < keep[j] })
+		local.out[v] = append(local.out[v], keep...)
+	}
+	return nil
+}
+
+func appendLabelShare(blob []byte, v graph.VertexID, out, in []order.Rank) []byte {
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(v))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(out)))
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(in)))
+	blob = append(blob, hdr[:]...)
+	var rec [4]byte
+	for _, r := range out {
+		binary.LittleEndian.PutUint32(rec[:], uint32(r))
+		blob = append(blob, rec[:]...)
+	}
+	for _, r := range in {
+		binary.LittleEndian.PutUint32(rec[:], uint32(r))
+		blob = append(blob, rec[:]...)
+	}
+	return blob
+}
+
+// BuildDistributedBatch runs DRL_b (Algorithm 4) on the vertex-centric
+// system: one engine run per batch over a persistent worker set,
+// metrics accumulated across batches.
+func BuildDistributedBatch(g *graph.Digraph, ord *order.Ordering, bp BatchParams, opt DistOptions) (*label.Index, pregel.Metrics, error) {
+	var met pregel.Metrics
+	spans, err := BatchSequence(g.NumVertices(), bp)
+	if err != nil {
+		return nil, met, err
+	}
+	eng := pregel.New(g, pregel.Config{Workers: opt.Workers, Net: opt.Net, Cancel: opt.Cancel})
+	for _, span := range spans {
+		shared := newBatchShared(ord, span)
+		shared.cancel = opt.Cancel
+		prog := &batchProgram{shared: shared}
+		m, err := eng.Run(prog)
+		met.Add(m)
+		if err != nil {
+			return nil, met, err
+		}
+	}
+	idx := collectIndex(eng, ord, &met)
+	return idx, met, nil
+}

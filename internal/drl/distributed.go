@@ -1,0 +1,304 @@
+package drl
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/label"
+	"repro/internal/netsim"
+	"repro/internal/order"
+	"repro/internal/pregel"
+)
+
+// DistOptions configures the vertex-centric builders.
+type DistOptions struct {
+	// Workers is the number of computation nodes P.
+	Workers int
+	// Net is the simulated interconnect model.
+	Net netsim.Model
+	// Cancel aborts the build when closed.
+	Cancel <-chan struct{}
+}
+
+// Message kinds: a v-sourced trimmed BFS step on G (building in-label
+// candidates) or on G̅ (building out-label candidates). Msg.Val
+// carries the source's rank.
+const (
+	kindFwd uint8 = iota
+	kindBwd
+)
+
+// seenKey packs (direction, vertex, source rank) for the per-worker
+// visited-status table (the paper's w.status hash, footnote 2).
+// Vertex IDs and ranks fit in 31 bits each, leaving two tag bits.
+func seenKey(kind uint8, w graph.VertexID, r order.Rank) uint64 {
+	return uint64(kind)<<62 | uint64(uint32(w))<<31 | uint64(uint32(r))
+}
+
+// distShared is the state every worker holds a replica of in a real
+// cluster: the inverted lists, fed by visit-event broadcasts. One
+// in-process copy stands in for the P identical replicas (see
+// pregel.PreStepper).
+type distShared struct {
+	ord *order.Ordering
+	// ibfsFwd[x] lists the ranks u whose *forward* BFS visited x —
+	// the inverted list consumed by the backward Check.
+	// ibfsBwd[x] is the symmetric list (IBFS_low of Definition 6)
+	// consumed by the forward Check.
+	ibfsFwd map[graph.VertexID][]order.Rank
+	ibfsBwd map[graph.VertexID][]order.Rank
+	// cancel lets long supersteps honor the cut-off mid-step.
+	cancel <-chan struct{}
+}
+
+// checkCancelEvery bounds how many inbox messages a program processes
+// between cut-off checks inside one superstep.
+const checkCancelEvery = 1 << 16
+
+func stepCanceled(i int, cancel <-chan struct{}) bool {
+	if i%checkCancelEvery != 0 || cancel == nil {
+		return false
+	}
+	select {
+	case <-cancel:
+		return true
+	default:
+		return false
+	}
+}
+
+// distLocal is one worker's private state: visited status and visitor
+// lists for owned vertices, and the final label lists after cleanup.
+type distLocal struct {
+	seen    map[uint64]struct{}
+	listFwd map[graph.VertexID][]order.Rank
+	listBwd map[graph.VertexID][]order.Rank
+	resIn   map[graph.VertexID][]order.Rank
+	resOut  map[graph.VertexID][]order.Rank
+}
+
+func newDistLocal() *distLocal {
+	return &distLocal{
+		seen:    make(map[uint64]struct{}),
+		listFwd: make(map[graph.VertexID][]order.Rank),
+		listBwd: make(map[graph.VertexID][]order.Rank),
+		resIn:   make(map[graph.VertexID][]order.Rank),
+		resOut:  make(map[graph.VertexID][]order.Rank),
+	}
+}
+
+// distProgram is Algorithm 3 (DRL): all n trimmed BFSs of both
+// directions flood the graph simultaneously; the Check procedure
+// prunes expansions opportunistically as the inverted-list replicas
+// fill in, and the Finish cleanup makes the result exact (Theorem 5).
+type distProgram struct {
+	shared *distShared
+}
+
+// PreStep applies the visit-event broadcasts of the previous step to
+// the shared inverted-list replica.
+func (p *distProgram) PreStep(workers []*pregel.Worker, step int) error {
+	if len(workers) == 0 {
+		return nil
+	}
+	for _, blob := range workers[0].BcastIn {
+		applyEvents(p.shared, blob)
+	}
+	return nil
+}
+
+// applyEvents decodes one event blob: kind byte, then (vertex, rank)
+// pairs.
+func applyEvents(s *distShared, blob []byte) {
+	if len(blob) == 0 {
+		return
+	}
+	kind := blob[0]
+	tgt := s.ibfsFwd
+	if kind == kindBwd {
+		tgt = s.ibfsBwd
+	}
+	blob = blob[1:]
+	for len(blob) >= 8 {
+		x := graph.VertexID(binary.LittleEndian.Uint32(blob[0:4]))
+		r := order.Rank(binary.LittleEndian.Uint32(blob[4:8]))
+		tgt[x] = append(tgt[x], r)
+		blob = blob[8:]
+	}
+}
+
+func (p *distProgram) Superstep(w *pregel.Worker, step int) (bool, error) {
+	if step == 0 {
+		local := newDistLocal()
+		w.State = local
+		ord := p.shared.ord
+		w.OwnedVertices(func(v graph.VertexID) {
+			r := ord.RankOf(v)
+			local.seen[seenKey(kindFwd, v, r)] = struct{}{}
+			local.seen[seenKey(kindBwd, v, r)] = struct{}{}
+			local.listFwd[v] = append(local.listFwd[v], r)
+			local.listBwd[v] = append(local.listBwd[v], r)
+			for _, nb := range w.Graph.OutNeighbors(v) {
+				w.Send(pregel.Msg{Dst: nb, Kind: kindFwd, Val: int32(r)})
+			}
+			for _, nb := range w.Graph.InNeighbors(v) {
+				w.Send(pregel.Msg{Dst: nb, Kind: kindBwd, Val: int32(r)})
+			}
+		})
+		return true, nil
+	}
+
+	local := w.State.(*distLocal)
+	ord := p.shared.ord
+	var pendFwd, pendBwd []byte
+	for i, m := range w.Inbox {
+		if stepCanceled(i, p.shared.cancel) {
+			return false, pregel.ErrCanceled
+		}
+		dst := m.Dst
+		r := order.Rank(m.Val)
+		rw := ord.RankOf(dst)
+		if r >= rw {
+			// ord(source) ≤ ord(dst): the trimmed BFS blocks here.
+			continue
+		}
+		key := seenKey(m.Kind, dst, r)
+		if _, ok := local.seen[key]; ok {
+			continue
+		}
+		v := ord.VertexAt(r)
+		// Check (Algorithm 3 line 14): a known higher-order vertex u
+		// that reaches v backwards and has already visited dst proves
+		// a covering walk; prune the expansion.
+		var ibfs []order.Rank
+		if m.Kind == kindFwd {
+			ibfs = p.shared.ibfsBwd[v]
+		} else {
+			ibfs = p.shared.ibfsFwd[v]
+		}
+		if covered(local, m.Kind, dst, ibfs) {
+			continue
+		}
+		local.seen[key] = struct{}{}
+		var rec [8]byte
+		binary.LittleEndian.PutUint32(rec[0:4], uint32(dst))
+		binary.LittleEndian.PutUint32(rec[4:8], uint32(r))
+		if m.Kind == kindFwd {
+			local.listFwd[dst] = append(local.listFwd[dst], r)
+			pendFwd = append(pendFwd, rec[:]...)
+			for _, nb := range w.Graph.OutNeighbors(dst) {
+				w.Send(pregel.Msg{Dst: nb, Kind: kindFwd, Val: m.Val})
+			}
+		} else {
+			local.listBwd[dst] = append(local.listBwd[dst], r)
+			pendBwd = append(pendBwd, rec[:]...)
+			for _, nb := range w.Graph.InNeighbors(dst) {
+				w.Send(pregel.Msg{Dst: nb, Kind: kindBwd, Val: m.Val})
+			}
+		}
+	}
+	if len(pendFwd) > 0 {
+		w.Broadcast(append([]byte{kindFwd}, pendFwd...))
+	}
+	if len(pendBwd) > 0 {
+		w.Broadcast(append([]byte{kindBwd}, pendBwd...))
+	}
+	return len(w.Inbox) > 0 || len(w.BcastIn) > 0, nil
+}
+
+// covered implements Check(v, w): true if some u ∈ ibfs (all of order
+// higher than v) has already visited w in the same direction.
+func covered(local *distLocal, kind uint8, w graph.VertexID, ibfs []order.Rank) bool {
+	for _, u := range ibfs {
+		if _, ok := local.seen[seenKey(kind, w, u)]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Finish is the final-superstep cleanup (Algorithm 3 lines 19-20):
+// re-run Check for every surviving visit against the now-complete
+// inverted lists, then sort the survivors into label lists. The check
+// reads the pre-cleanup status: the maximal covering witness is never
+// itself removed (Theorem 5's argument), so this is exact.
+func (p *distProgram) Finish(w *pregel.Worker) error {
+	local := w.State.(*distLocal)
+	ord := p.shared.ord
+	for v, list := range local.listFwd {
+		keep := make([]order.Rank, 0, len(list))
+		for _, r := range list {
+			if !covered(local, kindFwd, v, p.shared.ibfsBwd[ord.VertexAt(r)]) {
+				keep = append(keep, r)
+			}
+		}
+		sort.Slice(keep, func(i, j int) bool { return keep[i] < keep[j] })
+		local.resIn[v] = keep
+	}
+	for v, list := range local.listBwd {
+		keep := make([]order.Rank, 0, len(list))
+		for _, r := range list {
+			if !covered(local, kindBwd, v, p.shared.ibfsFwd[ord.VertexAt(r)]) {
+				keep = append(keep, r)
+			}
+		}
+		sort.Slice(keep, func(i, j int) bool { return keep[i] < keep[j] })
+		local.resOut[v] = keep
+	}
+	return nil
+}
+
+// BuildDistributed runs DRL (Algorithm 3) on the vertex-centric
+// system with opt.Workers computation nodes and returns the index
+// plus the run's cost metrics.
+func BuildDistributed(g *graph.Digraph, ord *order.Ordering, opt DistOptions) (*label.Index, pregel.Metrics, error) {
+	eng := pregel.New(g, pregel.Config{Workers: opt.Workers, Net: opt.Net, Cancel: opt.Cancel})
+	prog := &distProgram{shared: &distShared{
+		ord:     ord,
+		ibfsFwd: make(map[graph.VertexID][]order.Rank),
+		ibfsBwd: make(map[graph.VertexID][]order.Rank),
+		cancel:  opt.Cancel,
+	}}
+	met, err := eng.Run(prog)
+	if err != nil {
+		return nil, met, err
+	}
+	idx := collectIndex(eng, ord, &met)
+	return idx, met, nil
+}
+
+// collectIndex gathers the per-worker label lists onto one "machine"
+// (the paper serves queries from a single node holding the index) and
+// charges the gather bytes to the metrics.
+func collectIndex(eng *pregel.Engine, ord *order.Ordering, met *pregel.Metrics) *label.Index {
+	n := ord.N()
+	in := make([][]order.Rank, n)
+	out := make([][]order.Rank, n)
+	for _, w := range eng.Workers() {
+		switch st := w.State.(type) {
+		case *distLocal:
+			for v, lab := range st.resIn {
+				in[v] = lab
+			}
+			for v, lab := range st.resOut {
+				out[v] = lab
+			}
+		case *batchLocal:
+			for v, lab := range st.in {
+				in[v] = lab
+			}
+			for v, lab := range st.out {
+				out[v] = lab
+			}
+		}
+		if w.ID != 0 {
+			var bytes int64
+			for v := graph.VertexID(w.ID); int(v) < n; v += graph.VertexID(w.P) {
+				bytes += 4 * int64(len(in[v])+len(out[v]))
+			}
+			met.BytesRemote += bytes
+		}
+	}
+	return label.FromLists(ord, in, out)
+}

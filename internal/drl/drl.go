@@ -1,0 +1,208 @@
+// Package drl implements the paper's filtering-and-refinement labeling
+// algorithms — the contribution that makes TOL's index constructible
+// in parallel and on distributed graphs.
+//
+// For every vertex v the algorithms compute the backward label sets
+// L⁻_in(v) = {w | v ∈ L_in(w)} and L⁻_out(v) = {w | v ∈ L_out(w)}
+// (Definition 4) instead of running TOL's order-dependent pruning.
+// Four variants are provided, in increasing sophistication:
+//
+//	BuildNaive     Theorem 2:  DES(v) filtered by DES of every
+//	               higher-order descendant. Quadratic; test oracle.
+//	BuildBasic     Theorem 3 (DRL⁻): trimmed-BFS filtering, one full
+//	               BFS per BFS_hig(v) member for refinement.
+//	BuildImproved  Theorem 4 (DRL): trimmed-BFS filtering in both
+//	               directions, refinement via inverted lists — no
+//	               refinement BFSs at all.
+//	BuildBatch     §IV (DRL_b / DRL_b^M): batch sequence with
+//	               TOL-style pruning across batches and DRL-style
+//	               refinement inside each batch.
+//
+// All of the above run shared-memory parallel across Options.Workers
+// goroutines. The genuinely distributed implementations (Algorithms 3
+// and 4 on the vertex-centric system) are in distributed.go and
+// distbatch.go; every variant produces an index identical to TOL's.
+package drl
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/label"
+	"repro/internal/order"
+)
+
+// ErrCanceled is returned when a build is aborted through a cancel
+// channel (the experiment harness's cut-off timer).
+var ErrCanceled = errors.New("drl: labeling canceled")
+
+// Options configures the shared-memory builders.
+type Options struct {
+	// Workers is the number of goroutines (default: GOMAXPROCS).
+	Workers int
+	// Cancel aborts the build when closed.
+	Cancel <-chan struct{}
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func canceled(c <-chan struct{}) bool {
+	if c == nil {
+		return false
+	}
+	select {
+	case <-c:
+		return true
+	default:
+		return false
+	}
+}
+
+// parallelRanks runs fn(rank) for every rank in [lo, hi) across the
+// given number of goroutines, checking cancel between chunks. fn must
+// be safe for concurrent invocation on distinct ranks.
+func parallelRanks(lo, hi order.Rank, workers int, cancel <-chan struct{}, fn func(worker int, r order.Rank)) error {
+	if hi <= lo {
+		return nil
+	}
+	if workers <= 1 {
+		for r := lo; r < hi; r++ {
+			if r%1024 == 0 && canceled(cancel) {
+				return ErrCanceled
+			}
+			fn(0, r)
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var once sync.Once
+	var aborted bool
+	next := int64(lo)
+	nextMu := sync.Mutex{}
+	const chunk = 64
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			for {
+				if canceled(cancel) {
+					once.Do(func() { aborted = true; close(stop) })
+					return
+				}
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				nextMu.Lock()
+				start := next
+				next += chunk
+				nextMu.Unlock()
+				if start >= int64(hi) {
+					return
+				}
+				end := start + chunk
+				if end > int64(hi) {
+					end = int64(hi)
+				}
+				for r := order.Rank(start); r < order.Rank(end); r++ {
+					fn(wk, r)
+				}
+			}
+		}(wk)
+	}
+	wg.Wait()
+	if aborted {
+		return ErrCanceled
+	}
+	return nil
+}
+
+// disjointBelow reports whether the rank-sorted lists a and b share no
+// element strictly below bound. It is the refinement test of Lemma 5:
+// a common rank u < rank(v) between IBFS_low(v) and the visitors of w
+// proves a higher-order vertex on a v→w walk.
+func disjointBelow(a, b []order.Rank, bound order.Rank) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) && a[i] < bound && b[j] < bound {
+		switch {
+		case a[i] == b[j]:
+			return false
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return true
+}
+
+// disjointRanks reports whether two rank-sorted lists are disjoint
+// (the TOL/batch pruning test).
+func disjointRanks(a, b []order.Rank) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return false
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return true
+}
+
+// rankLists is a flat vertex → sorted-rank-list table: row w holds the
+// ranks of the sources whose (trimmed) BFS visited w. It doubles as
+// the inverted-list store: IBFS_low(v) on G is exactly row v of the
+// inverse direction's table.
+type rankLists struct {
+	off  []int64
+	data []order.Rank
+}
+
+// Row returns the sorted rank list of vertex w.
+func (t *rankLists) Row(w graph.VertexID) []order.Rank {
+	return t.data[t.off[w]:t.off[w+1]]
+}
+
+// Entries returns the total number of (source, vertex) visit pairs.
+func (t *rankLists) Entries() int64 { return int64(len(t.data)) }
+
+// invertLows builds the vertex→visitors table from per-source low
+// lists indexed by rank. Iterating sources in increasing rank keeps
+// every row sorted.
+func invertLows(n int, lows [][]graph.VertexID) *rankLists {
+	return invertLowsAt(n, lows, 0)
+}
+
+// allTrimmedLows runs the v-sourced trimmed BFS for every vertex of g
+// (the filtering phase run for all vertices at once) and returns the
+// per-rank BFS_low lists.
+func allTrimmedLows(g *graph.Digraph, ord *order.Ordering, opt Options) ([][]graph.VertexID, error) {
+	n := g.NumVertices()
+	lows := make([][]graph.VertexID, n)
+	scratches := make([]*label.Scratch, opt.workers())
+	for i := range scratches {
+		scratches[i] = label.NewScratch(n)
+	}
+	err := parallelRanks(0, order.Rank(n), opt.workers(), opt.Cancel, func(wk int, r order.Rank) {
+		v := ord.VertexAt(r)
+		low, _ := label.TrimmedBFS(g, ord, v, scratches[wk], nil, nil)
+		lows[r] = low
+	})
+	if err != nil {
+		return nil, err
+	}
+	return lows, nil
+}

@@ -1,0 +1,69 @@
+package drl
+
+import (
+	"repro/internal/graph"
+	"repro/internal/label"
+	"repro/internal/order"
+)
+
+// BuildImproved is the improved labeling method DRL (Theorem 4). The
+// filtering phase runs the trimmed BFS from every vertex in both
+// directions; refinement needs no BFS at all: a vertex w is removed
+// from BFS_low(v) exactly when the inverted list IBFS_low(v) and the
+// visitor list of w share a vertex of order higher than v (Lemma 5).
+//
+// Representation: visitedFwd.Row(w) holds the ranks of all sources
+// whose forward trimmed BFS visited w — simultaneously the candidate
+// in-label set of w and, read for vertex v, the inverted list
+// IBFS^G̅_low(v) consumed by the backward refinement. The backward
+// table plays the symmetric roles. The refinement below therefore
+// produces the *forward* label lists L_in(w)/L_out(w) directly,
+// without materializing backward sets.
+func BuildImproved(g *graph.Digraph, ord *order.Ordering, opt Options) (*label.Index, error) {
+	n := g.NumVertices()
+
+	// Filtering phase: all trimmed BFSs on G, then on G̅.
+	fwdLows, err := allTrimmedLows(g, ord, opt)
+	if err != nil {
+		return nil, err
+	}
+	visitedFwd := invertLows(n, fwdLows)
+	fwdLows = nil
+	bwdLows, err := allTrimmedLows(g.Inverse(), ord, opt)
+	if err != nil {
+		return nil, err
+	}
+	visitedBwd := invertLows(n, bwdLows)
+	bwdLows = nil
+
+	// Refinement phase (Lemma 5), per target vertex, in parallel.
+	in := make([][]order.Rank, n)
+	out := make([][]order.Rank, n)
+	err = parallelRanks(0, order.Rank(n), opt.workers(), opt.Cancel, func(_ int, wr order.Rank) {
+		w := ord.VertexAt(wr)
+		fRow := visitedFwd.Row(w)
+		bRow := visitedBwd.Row(w)
+		var inW, outW []order.Rank
+		for _, rv := range fRow {
+			v := ord.VertexAt(rv)
+			// Keep v ∈ L_in(w) unless some u with rank < rv appears in
+			// both IBFS_low(v) (= visitors of v on G̅) and the forward
+			// visitors of w.
+			if disjointBelow(visitedBwd.Row(v), fRow, rv) {
+				inW = append(inW, rv)
+			}
+		}
+		for _, rv := range bRow {
+			v := ord.VertexAt(rv)
+			if disjointBelow(visitedFwd.Row(v), bRow, rv) {
+				outW = append(outW, rv)
+			}
+		}
+		in[w] = inW
+		out[w] = outW
+	})
+	if err != nil {
+		return nil, err
+	}
+	return label.FromLists(ord, in, out), nil
+}

@@ -1,0 +1,89 @@
+package drl
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/netsim"
+	"repro/internal/order"
+)
+
+// TestDistributedDeterministic: repeated runs of the same
+// configuration produce identical indexes and identical message
+// counts (the engine's exchange is fully deterministic).
+func TestDistributedDeterministic(t *testing.T) {
+	g := randomDigraph(80, 240, 61)
+	ord := order.Compute(g)
+	first, met1, err := BuildDistributedBatch(g, ord, DefaultBatchParams(), DistOptions{Workers: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, met2, err := BuildDistributedBatch(g, ord, DefaultBatchParams(), DistOptions{Workers: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Equal(second) {
+		t.Fatal("nondeterministic index")
+	}
+	if met1.Messages != met2.Messages || met1.Supersteps != met2.Supersteps ||
+		met1.BytesRemote != met2.BytesRemote {
+		t.Errorf("nondeterministic metrics: %+v vs %+v", met1, met2)
+	}
+}
+
+// TestCommunicationOrdering: the paper's Fig. 5 shape at small scale —
+// DRL_b moves fewer bytes than DRL, which moves fewer than DRL⁻ (the
+// DES floods dominate).
+func TestCommunicationOrdering(t *testing.T) {
+	g := randomDigraph(300, 1200, 62)
+	ord := order.Compute(g)
+	opt := DistOptions{Workers: 4, Net: netsim.Zero()}
+	_, basic, err := BuildDistributedBasic(g, ord, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, improved, err := BuildDistributed(g, ord, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, batch, err := BuildDistributedBatch(g, ord, DefaultBatchParams(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.BytesRemote >= improved.BytesRemote {
+		t.Errorf("DRL_b (%d B) should move less than DRL (%d B)",
+			batch.BytesRemote, improved.BytesRemote)
+	}
+	if improved.BytesRemote >= basic.BytesRemote {
+		t.Errorf("DRL (%d B) should move less than DRL⁻ (%d B)",
+			improved.BytesRemote, basic.BytesRemote)
+	}
+}
+
+// TestWorkerCountIndependence: the index is identical for every P.
+func TestWorkerCountIndependence(t *testing.T) {
+	g := graph.PaperExample()
+	ord := order.Compute(g)
+	var base *struct{ entries int64 }
+	for _, p := range []int{1, 2, 5, 7, 11, 16} {
+		idx, _, err := BuildDistributedBatch(g, ord, DefaultBatchParams(), DistOptions{Workers: p})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if base == nil {
+			base = &struct{ entries int64 }{idx.Entries()}
+		} else if base.entries != idx.Entries() {
+			t.Fatalf("p=%d: entry count changed", p)
+		}
+	}
+}
+
+// TestDistBatchParamsRejected: invalid batch parameters surface as
+// errors from the distributed builder too.
+func TestDistBatchParamsRejected(t *testing.T) {
+	g := graph.PaperExample()
+	ord := order.Compute(g)
+	if _, _, err := BuildDistributedBatch(g, ord, BatchParams{Factor: 0.2}, DistOptions{Workers: 2}); err == nil {
+		t.Error("expected error for factor < 1")
+	}
+}

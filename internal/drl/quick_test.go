@@ -1,0 +1,101 @@
+package drl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/order"
+	"repro/internal/tol"
+)
+
+// Quick-checked properties over randomly generated graphs. These are
+// shallower than the table-driven equivalence suite but explore far
+// more graph shapes.
+
+// TestQuickImprovedEqualsNaive: the refinement shortcut (Theorem 4)
+// agrees with the literal framework (Theorem 2) on arbitrary graphs.
+func TestQuickImprovedEqualsNaive(t *testing.T) {
+	f := func(raw []uint16) bool {
+		const n = 14
+		var edges []graph.Edge
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, graph.Edge{
+				U: graph.VertexID(raw[i] % n),
+				V: graph.VertexID(raw[i+1] % n),
+			})
+		}
+		g := graph.FromEdges(n, edges)
+		ord := order.Compute(g)
+		naive, err := BuildNaive(g, ord, Options{Workers: 1})
+		if err != nil {
+			return false
+		}
+		improved, err := BuildImproved(g, ord, Options{Workers: 1})
+		if err != nil {
+			return false
+		}
+		return naive.Equal(improved)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBatchCoverConstraint: Definition 3 holds for DRL_b on
+// arbitrary graphs — the index answers exactly like BFS.
+func TestQuickBatchCoverConstraint(t *testing.T) {
+	f := func(raw []uint16, b uint8) bool {
+		const n = 12
+		var edges []graph.Edge
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, graph.Edge{
+				U: graph.VertexID(raw[i] % n),
+				V: graph.VertexID(raw[i+1] % n),
+			})
+		}
+		g := graph.FromEdges(n, edges)
+		ord := order.Compute(g)
+		idx, err := BuildBatch(g, ord, BatchParams{InitialSize: int(b%5) + 1, Factor: 2}, Options{Workers: 1})
+		if err != nil {
+			return false
+		}
+		for s := graph.VertexID(0); int(s) < n; s++ {
+			for d := graph.VertexID(0); int(d) < n; d++ {
+				if idx.Reachable(s, d) != graph.Reachable(g, s, d) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDistributedEqualsTOL: the vertex-centric DRL agrees with
+// TOL under quick-generated graphs and worker counts.
+func TestQuickDistributedEqualsTOL(t *testing.T) {
+	f := func(raw []uint16, p uint8) bool {
+		const n = 12
+		var edges []graph.Edge
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, graph.Edge{
+				U: graph.VertexID(raw[i] % n),
+				V: graph.VertexID(raw[i+1] % n),
+			})
+		}
+		g := graph.FromEdges(n, edges)
+		ord := order.Compute(g)
+		want := tol.Build(g, ord)
+		got, _, err := BuildDistributed(g, ord, DistOptions{Workers: int(p%6) + 1})
+		if err != nil {
+			return false
+		}
+		return want.Equal(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

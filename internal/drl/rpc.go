@@ -1,0 +1,217 @@
+package drl
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+
+	"repro/internal/graph"
+	"repro/internal/label"
+	"repro/internal/order"
+	"repro/internal/pregel"
+)
+
+// RPC deployment: the DRL and DRL_b programs registered for the
+// multi-process transport (cmd/drworker + cmd/drcluster). Each worker
+// process loads the graph from shared storage, computes the (fully
+// deterministic) vertex order locally, and keeps its own replica of
+// the broadcast state — exactly the paper's deployment model, with
+// net/rpc over TCP standing in for MPI.
+
+func init() {
+	pregel.RegisterRPC("drl", pregel.RPCFactory{
+		New: func(params map[string]string, w *pregel.Worker) (pregel.Program, error) {
+			ord := order.Compute(w.Graph)
+			return &distProgram{shared: &distShared{
+				ord:     ord,
+				ibfsFwd: make(map[graph.VertexID][]order.Rank),
+				ibfsBwd: make(map[graph.VertexID][]order.Rank),
+			}}, nil
+		},
+		Collect: collectDist,
+	})
+	pregel.RegisterRPC("drl-batch", pregel.RPCFactory{
+		New: func(params map[string]string, w *pregel.Worker) (pregel.Program, error) {
+			bp, batch, err := parseBatchParams(params)
+			if err != nil {
+				return nil, err
+			}
+			spans, err := BatchSequence(w.Graph.NumVertices(), bp)
+			if err != nil {
+				return nil, err
+			}
+			if batch < 0 || batch >= len(spans) {
+				return nil, fmt.Errorf("drl: batch %d out of range (%d batches)", batch, len(spans))
+			}
+			ord := order.Compute(w.Graph)
+			return &batchProgram{shared: newBatchShared(ord, spans[batch])}, nil
+		},
+		Collect: collectBatch,
+	})
+}
+
+func parseBatchParams(params map[string]string) (BatchParams, int, error) {
+	bp := DefaultBatchParams()
+	if s, ok := params["b"]; ok {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return bp, 0, fmt.Errorf("drl: bad batch size %q: %w", s, err)
+		}
+		bp.InitialSize = v
+	}
+	if s, ok := params["k"]; ok {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return bp, 0, fmt.Errorf("drl: bad batch factor %q: %w", s, err)
+		}
+		bp.Factor = v
+	}
+	batch, err := strconv.Atoi(params["batch"])
+	if err != nil {
+		return bp, 0, fmt.Errorf("drl: bad batch index %q: %w", params["batch"], err)
+	}
+	return bp, batch, nil
+}
+
+// Result blob format: repeated records of
+// (vertex u32, nIn u32, nOut u32, inRanks..., outRanks...), ranks as
+// u32 each.
+
+func appendResult(blob []byte, v graph.VertexID, in, out []order.Rank) []byte {
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(v))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(in)))
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(out)))
+	blob = append(blob, hdr[:]...)
+	var rec [4]byte
+	for _, r := range in {
+		binary.LittleEndian.PutUint32(rec[:], uint32(r))
+		blob = append(blob, rec[:]...)
+	}
+	for _, r := range out {
+		binary.LittleEndian.PutUint32(rec[:], uint32(r))
+		blob = append(blob, rec[:]...)
+	}
+	return blob
+}
+
+func collectDist(w *pregel.Worker) ([]byte, error) {
+	local, ok := w.State.(*distLocal)
+	if !ok {
+		return nil, fmt.Errorf("drl: worker %d holds no DRL state", w.ID)
+	}
+	var blob []byte
+	w.OwnedVertices(func(v graph.VertexID) {
+		blob = appendResult(blob, v, local.resIn[v], local.resOut[v])
+	})
+	return blob, nil
+}
+
+func collectBatch(w *pregel.Worker) ([]byte, error) {
+	local, ok := w.State.(*batchLocal)
+	if !ok {
+		return nil, fmt.Errorf("drl: worker %d holds no DRL_b state", w.ID)
+	}
+	var blob []byte
+	w.OwnedVertices(func(v graph.VertexID) {
+		blob = appendResult(blob, v, local.in[v], local.out[v])
+	})
+	return blob, nil
+}
+
+func decodeResults(blobs [][]byte, n int) (in, out [][]order.Rank, err error) {
+	in = make([][]order.Rank, n)
+	out = make([][]order.Rank, n)
+	for _, blob := range blobs {
+		for len(blob) > 0 {
+			if len(blob) < 12 {
+				return nil, nil, fmt.Errorf("drl: truncated result blob")
+			}
+			v := graph.VertexID(binary.LittleEndian.Uint32(blob[0:4]))
+			nIn := int(binary.LittleEndian.Uint32(blob[4:8]))
+			nOut := int(binary.LittleEndian.Uint32(blob[8:12]))
+			blob = blob[12:]
+			if int(v) >= n || len(blob) < 4*(nIn+nOut) {
+				return nil, nil, fmt.Errorf("drl: corrupt result blob")
+			}
+			ranks := func(k int) []order.Rank {
+				rs := make([]order.Rank, k)
+				for i := 0; i < k; i++ {
+					rs[i] = order.Rank(binary.LittleEndian.Uint32(blob[4*i:]))
+				}
+				blob = blob[4*k:]
+				return rs
+			}
+			in[v] = ranks(nIn)
+			out[v] = ranks(nOut)
+		}
+	}
+	return in, out, nil
+}
+
+// BuildOverRPC runs DRL (Algorithm 3) on a cluster of worker
+// processes reachable at addrs; graphPath must be readable by every
+// worker and the master.
+func BuildOverRPC(addrs []string, graphPath string) (*label.Index, pregel.Metrics, error) {
+	g, err := graph.LoadFile(graphPath)
+	if err != nil {
+		return nil, pregel.Metrics{}, err
+	}
+	ord := order.Compute(g)
+	m, err := pregel.DialCluster(addrs, graphPath)
+	if err != nil {
+		return nil, pregel.Metrics{}, err
+	}
+	defer m.Close()
+	if err := m.Run("drl", nil, 0); err != nil {
+		return nil, m.Metrics, err
+	}
+	blobs, err := m.Collect()
+	if err != nil {
+		return nil, m.Metrics, err
+	}
+	in, out, err := decodeResults(blobs, g.NumVertices())
+	if err != nil {
+		return nil, m.Metrics, err
+	}
+	return label.FromLists(ord, in, out), m.Metrics, nil
+}
+
+// BuildBatchOverRPC runs DRL_b (Algorithm 4) on a cluster of worker
+// processes: one coordinated run per batch, then a final gather.
+func BuildBatchOverRPC(addrs []string, graphPath string, bp BatchParams) (*label.Index, pregel.Metrics, error) {
+	g, err := graph.LoadFile(graphPath)
+	if err != nil {
+		return nil, pregel.Metrics{}, err
+	}
+	ord := order.Compute(g)
+	spans, err := BatchSequence(g.NumVertices(), bp)
+	if err != nil {
+		return nil, pregel.Metrics{}, err
+	}
+	m, err := pregel.DialCluster(addrs, graphPath)
+	if err != nil {
+		return nil, pregel.Metrics{}, err
+	}
+	defer m.Close()
+	bpNorm, _ := bp.normalized()
+	for i := range spans {
+		params := map[string]string{
+			"b":     strconv.Itoa(bpNorm.InitialSize),
+			"k":     strconv.FormatFloat(bpNorm.Factor, 'g', -1, 64),
+			"batch": strconv.Itoa(i),
+		}
+		if err := m.Run("drl-batch", params, 0); err != nil {
+			return nil, m.Metrics, err
+		}
+	}
+	blobs, err := m.Collect()
+	if err != nil {
+		return nil, m.Metrics, err
+	}
+	in, out, err := decodeResults(blobs, g.NumVertices())
+	if err != nil {
+		return nil, m.Metrics, err
+	}
+	return label.FromLists(ord, in, out), m.Metrics, nil
+}

@@ -1,0 +1,316 @@
+// Package gen provides seeded synthetic graph generators, one per
+// structural family of the paper's 18 evaluation datasets (Table V).
+//
+// The real datasets are multi-gigabyte downloads (SNAP, Konect, LAW,
+// NetworkRepository); this environment has no network access, so each
+// paper graph is replaced by a generator reproducing its family's
+// structural regime — the properties the labeling algorithms are
+// sensitive to:
+//
+//	Web        hierarchical copying model with hub pages and
+//	           intra-site back links → skewed degrees, medium SCCs
+//	Citation   preferential attachment, edges only new→old → DAG
+//	Social     preferential attachment with reciprocation → one giant
+//	           SCC, heavy-tailed degrees
+//	Knowledge  sparse tree backbone plus cross links → shallow, wide
+//	Biology    layered ontology DAG (GO-style) → short paths, high
+//	           fan-out
+//	Synthetic  RMAT/Kronecker as in Graph500
+//
+// Every generator is deterministic in (parameters, seed).
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Family names a structural regime from Table V.
+type Family string
+
+// The supported families.
+const (
+	Web       Family = "web"
+	Citation  Family = "citation"
+	Social    Family = "social"
+	Knowledge Family = "knowledge"
+	Biology   Family = "biology"
+	Synthetic Family = "synthetic"
+)
+
+// Families lists every supported family.
+func Families() []Family {
+	return []Family{Web, Citation, Social, Knowledge, Biology, Synthetic}
+}
+
+// Params configures a generated graph.
+type Params struct {
+	Family Family
+	// N is the number of vertices.
+	N int
+	// AvgDegree is the target average out-degree.
+	AvgDegree float64
+	// Seed makes the output deterministic.
+	Seed int64
+}
+
+// Edges generates the edge stream for p. The stream order matters:
+// the scalability experiment (Fig. 7) takes prefixes of it.
+func Edges(p Params) ([]graph.Edge, error) {
+	if p.N <= 0 {
+		return nil, fmt.Errorf("gen: vertex count %d must be positive", p.N)
+	}
+	if p.AvgDegree <= 0 {
+		p.AvgDegree = 4
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	switch p.Family {
+	case Web:
+		return webEdges(p.N, p.AvgDegree, rng), nil
+	case Citation:
+		return citationEdges(p.N, p.AvgDegree, rng), nil
+	case Social:
+		return socialEdges(p.N, p.AvgDegree, rng), nil
+	case Knowledge:
+		return knowledgeEdges(p.N, p.AvgDegree, rng), nil
+	case Biology:
+		return biologyEdges(p.N, p.AvgDegree, rng), nil
+	case Synthetic:
+		return rmatEdges(p.N, p.AvgDegree, rng), nil
+	default:
+		return nil, fmt.Errorf("gen: unknown family %q", p.Family)
+	}
+}
+
+// Generate builds the graph for p.
+func Generate(p Params) (*graph.Digraph, error) {
+	edges, err := Edges(p)
+	if err != nil {
+		return nil, err
+	}
+	return graph.FromEdges(p.N, edges), nil
+}
+
+// webEdges: linear-growth copying model. Each new page links to a few
+// targets, copying the out-links of a random earlier page with
+// probability copyP (produces hub pages and skewed in-degrees); with
+// probability backP a target links back (intra-site navigation),
+// forming medium-size cycles.
+func webEdges(n int, avg float64, rng *rand.Rand) []graph.Edge {
+	const copyP, backP = 0.55, 0.12
+	perVertex := int(avg + 0.5)
+	if perVertex < 1 {
+		perVertex = 1
+	}
+	var edges []graph.Edge
+	for v := 1; v < n; v++ {
+		for j := 0; j < perVertex; j++ {
+			var t int
+			if rng.Float64() < copyP && len(edges) > 0 {
+				// Copy a random existing link's target: preferential
+				// attachment by in-degree.
+				t = int(edges[rng.Intn(len(edges))].V)
+			} else {
+				t = rng.Intn(v)
+			}
+			if t == v {
+				continue
+			}
+			edges = append(edges, graph.Edge{U: graph.VertexID(v), V: graph.VertexID(t)})
+			if rng.Float64() < backP {
+				edges = append(edges, graph.Edge{U: graph.VertexID(t), V: graph.VertexID(v)})
+			}
+		}
+	}
+	return edges
+}
+
+// citationEdges: edges strictly from newer to older vertices — a DAG,
+// like Citeseerx and Cit-patent. Citations mix strong preferential
+// attachment (landmark papers dominate, which is what keeps 2-hop
+// labels small on real citation graphs) with recency (papers mostly
+// cite the recent literature).
+func citationEdges(n int, avg float64, rng *rand.Rand) []graph.Edge {
+	perVertex := int(avg + 0.5)
+	if perVertex < 1 {
+		perVertex = 1
+	}
+	// Papers live in research areas and overwhelmingly cite within
+	// their own area; the occasional cross-area citation goes to a
+	// well-cited paper. This community structure is what keeps the
+	// transitive closure — and therefore the 2-hop labels — sparse on
+	// real citation graphs.
+	numCats := n/800 + 1
+	perCat := make([][]int32, numCats)   // older papers per area
+	catCited := make([][]int32, numCats) // citation targets per area (preferential pool)
+	var allCited []int32                 // global preferential pool
+	var edges []graph.Edge
+	for v := 0; v < n; v++ {
+		c := rng.Intn(numCats)
+		for j := 0; j < perVertex; j++ {
+			var t int32 = -1
+			r := rng.Float64()
+			switch {
+			case r < 0.05 && len(allCited) > 0:
+				t = allCited[rng.Intn(len(allCited))] // cross-area landmark
+			case r < 0.65 && len(catCited[c]) > 0:
+				t = catCited[c][rng.Intn(len(catCited[c]))]
+			case len(perCat[c]) > 0:
+				t = perCat[c][rng.Intn(len(perCat[c]))]
+			}
+			if t < 0 || int(t) >= v { // keep the DAG invariant
+				continue
+			}
+			edges = append(edges, graph.Edge{U: graph.VertexID(v), V: graph.VertexID(t)})
+			catCited[c] = append(catCited[c], t)
+			allCited = append(allCited, t)
+		}
+		perCat[c] = append(perCat[c], int32(v))
+	}
+	return edges
+}
+
+// socialEdges: directed preferential attachment with reciprocation,
+// yielding a giant SCC and heavy-tailed degrees (Twitter/Sina-weibo
+// regime).
+func socialEdges(n int, avg float64, rng *rand.Rand) []graph.Edge {
+	const reciprocateP = 0.3
+	perVertex := int(avg + 0.5)
+	if perVertex < 1 {
+		perVertex = 1
+	}
+	var edges []graph.Edge
+	for v := 1; v < n; v++ {
+		for j := 0; j < perVertex; j++ {
+			var t int
+			if rng.Float64() < 0.7 && len(edges) > 0 {
+				t = int(edges[rng.Intn(len(edges))].V)
+			} else {
+				t = rng.Intn(v)
+			}
+			if t == v {
+				continue
+			}
+			edges = append(edges, graph.Edge{U: graph.VertexID(v), V: graph.VertexID(t)})
+			if rng.Float64() < reciprocateP {
+				edges = append(edges, graph.Edge{U: graph.VertexID(t), V: graph.VertexID(v)})
+			}
+		}
+	}
+	return edges
+}
+
+// knowledgeEdges: a shallow forest backbone (instance→class edges)
+// plus sparse cross references — the DBpedia regime: low degrees,
+// mostly acyclic, many tiny components reaching a small core.
+func knowledgeEdges(n int, avg float64, rng *rand.Rand) []graph.Edge {
+	var edges []graph.Edge
+	core := n / 50
+	if core < 1 {
+		core = 1
+	}
+	for v := core; v < n; v++ {
+		// Parent link into the earlier part of the graph, biased to
+		// the core.
+		var t int
+		if rng.Float64() < 0.4 {
+			t = rng.Intn(core)
+		} else {
+			t = rng.Intn(v)
+		}
+		edges = append(edges, graph.Edge{U: graph.VertexID(v), V: graph.VertexID(t)})
+	}
+	// Cross references: mostly toward earlier (more general) entities
+	// so the graph stays largely acyclic with only small local cycles,
+	// the DBpedia regime.
+	extra := int(float64(n)*avg) - len(edges)
+	for i := 0; i < extra; i++ {
+		u := rng.Intn(n)
+		t := rng.Intn(n)
+		if u == t {
+			continue
+		}
+		if t > u {
+			u, t = t, u
+		}
+		edges = append(edges, graph.Edge{U: graph.VertexID(u), V: graph.VertexID(t)})
+		// A sprinkle of reciprocal links (redirect pairs, see-also
+		// loops) keeps the family non-acyclic without a giant SCC.
+		if rng.Float64() < 0.01 {
+			edges = append(edges, graph.Edge{U: graph.VertexID(t), V: graph.VertexID(u)})
+		}
+	}
+	return edges
+}
+
+// biologyEdges: a layered ontology DAG in the Go-uniprot style —
+// annotation vertices point into a term hierarchy that narrows toward
+// a handful of roots.
+func biologyEdges(n int, avg float64, rng *rand.Rand) []graph.Edge {
+	// The first tenth of the vertices form the term hierarchy; the
+	// rest are annotations pointing into it.
+	terms := n / 10
+	if terms < 2 {
+		terms = 2
+	}
+	if terms > n {
+		terms = n
+	}
+	var edges []graph.Edge
+	for v := 1; v < terms; v++ {
+		// is-a edges toward lower-numbered (more general) terms.
+		parents := 1 + rng.Intn(2)
+		for j := 0; j < parents; j++ {
+			t := rng.Intn(v)
+			edges = append(edges, graph.Edge{U: graph.VertexID(v), V: graph.VertexID(t)})
+		}
+	}
+	perAnnot := int(avg + 0.5)
+	if perAnnot < 1 {
+		perAnnot = 1
+	}
+	for v := terms; v < n; v++ {
+		for j := 0; j < perAnnot; j++ {
+			t := rng.Intn(terms)
+			edges = append(edges, graph.Edge{U: graph.VertexID(v), V: graph.VertexID(t)})
+		}
+	}
+	return edges
+}
+
+// rmatEdges: the Graph500 RMAT/Kronecker generator with the standard
+// (0.57, 0.19, 0.19, 0.05) partition probabilities.
+func rmatEdges(n int, avg float64, rng *rand.Rand) []graph.Edge {
+	// Round n up to a power of two for the recursive partition, then
+	// fold overflowing IDs back into range.
+	scale := 0
+	for 1<<scale < n {
+		scale++
+	}
+	m := int(float64(n) * avg)
+	const a, b, c = 0.57, 0.19, 0.19
+	edges := make([]graph.Edge, 0, m)
+	for i := 0; i < m; i++ {
+		u, v := 0, 0
+		for bit := 0; bit < scale; bit++ {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// upper-left: no bits set
+			case r < a+b:
+				v |= 1 << bit
+			case r < a+b+c:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		u %= n
+		v %= n
+		edges = append(edges, graph.Edge{U: graph.VertexID(u), V: graph.VertexID(v)})
+	}
+	return edges
+}

@@ -1,0 +1,200 @@
+// Package grail implements GRAIL (Yildirim, Chaoji, Zaki — VLDB
+// 2010), the interval-labeling index-assisted approach from the
+// paper's related work (§V, [7]). It is not part of the paper's
+// head-to-head evaluation — BFL superseded it — but it rounds out the
+// baseline families this repository provides: index-only (TOL/DRL),
+// Bloom-filter (BFL), and interval (GRAIL).
+//
+// GRAIL assigns every vertex k interval labels from k randomized
+// post-order traversals of the DAG: L_i(v) = [low_i(v), post_i(v)]
+// with low_i(v) the smallest post rank in v's reachable set. If u
+// reaches v then L_i(u) ⊇ L_i(v) for every i, so any non-containment
+// proves unreachability; containment in all k labels is inconclusive
+// and falls back to a label-pruned DFS. Because interval soundness
+// needs acyclicity, the index is built over the SCC condensation
+// (this is also how the original system handles cyclic inputs).
+package grail
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// DefaultTraversals is the default number of randomized traversals k.
+const DefaultTraversals = 3
+
+// Options configures GRAIL construction.
+type Options struct {
+	// Traversals is k (default DefaultTraversals).
+	Traversals int
+	// Seed drives the randomized traversal orders.
+	Seed int64
+}
+
+// Index is the GRAIL reachability index.
+type Index struct {
+	cond *graph.Digraph
+	comp []int32
+	k    int
+	// low[i*nc + c], post[i*nc + c] for traversal i, component c.
+	low, post []int32
+}
+
+// Build constructs the GRAIL index for g (cyclic inputs allowed; the
+// labels live on the condensation).
+func Build(g *graph.Digraph, opt Options) (*Index, error) {
+	k := opt.Traversals
+	if k == 0 {
+		k = DefaultTraversals
+	}
+	if k < 1 || k > 64 {
+		return nil, fmt.Errorf("grail: traversal count %d out of range [1, 64]", k)
+	}
+	cond, comp := graph.Condense(g)
+	nc := cond.NumVertices()
+	x := &Index{
+		cond: cond,
+		comp: comp,
+		k:    k,
+		low:  make([]int32, k*nc),
+		post: make([]int32, k*nc),
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	for i := 0; i < k; i++ {
+		x.assign(i, rng)
+	}
+	return x, nil
+}
+
+// assign computes the i-th traversal's post ranks (randomized child
+// order) and derives low as the minimum post over the reachable set.
+func (x *Index) assign(i int, rng *rand.Rand) {
+	nc := x.cond.NumVertices()
+	post := x.post[i*nc : (i+1)*nc]
+	low := x.low[i*nc : (i+1)*nc]
+
+	// Randomized iterative DFS over all roots in shuffled order.
+	order := rng.Perm(nc)
+	seen := make([]bool, nc)
+	var clock int32
+	type frame struct {
+		v    graph.VertexID
+		nbrs []graph.VertexID
+		next int
+	}
+	shuffled := func(v graph.VertexID) []graph.VertexID {
+		nbrs := append([]graph.VertexID(nil), x.cond.OutNeighbors(v)...)
+		rng.Shuffle(len(nbrs), func(a, b int) { nbrs[a], nbrs[b] = nbrs[b], nbrs[a] })
+		return nbrs
+	}
+	var stack []frame
+	finish := make([]graph.VertexID, 0, nc) // vertices in finishing order
+	for _, root := range order {
+		if seen[root] {
+			continue
+		}
+		seen[root] = true
+		stack = append(stack, frame{v: graph.VertexID(root), nbrs: shuffled(graph.VertexID(root))})
+		for len(stack) > 0 {
+			top := &stack[len(stack)-1]
+			descended := false
+			for top.next < len(top.nbrs) {
+				w := top.nbrs[top.next]
+				top.next++
+				if !seen[w] {
+					seen[w] = true
+					stack = append(stack, frame{v: w, nbrs: shuffled(w)})
+					descended = true
+					break
+				}
+			}
+			if descended {
+				continue
+			}
+			post[top.v] = clock
+			clock++
+			finish = append(finish, top.v)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	// low(v) = min(post(v), min over out-neighbors' low). Finishing
+	// order puts every DAG descendant before its ancestors, so one
+	// pass suffices.
+	for _, v := range finish {
+		lv := post[v]
+		for _, w := range x.cond.OutNeighbors(v) {
+			if low[w] < lv {
+				lv = low[w]
+			}
+		}
+		low[v] = lv
+	}
+}
+
+// containsAll reports whether every interval of cu contains the
+// corresponding interval of cv — the necessary condition for cu
+// reaching cv.
+func (x *Index) containsAll(cu, cv int32) bool {
+	nc := x.cond.NumVertices()
+	for i := 0; i < x.k; i++ {
+		base := i * nc
+		if x.low[base+int(cu)] > x.low[base+int(cv)] || x.post[base+int(cu)] < x.post[base+int(cv)] {
+			return false
+		}
+	}
+	return true
+}
+
+// Reachable answers q(s, t) exactly: interval pruning plus a fallback
+// DFS over the condensation.
+func (x *Index) Reachable(s, t graph.VertexID) bool {
+	reach, _ := x.ReachableCounted(s, t)
+	return reach
+}
+
+// ReachableCounted also reports how many condensation vertices the
+// fallback expanded (0 when the labels decided).
+func (x *Index) ReachableCounted(s, t graph.VertexID) (bool, int) {
+	cs, ct := x.comp[s], x.comp[t]
+	if cs == ct {
+		return true, 0
+	}
+	if !x.containsAll(cs, ct) {
+		return false, 0
+	}
+	// Fallback DFS with interval pruning.
+	visited := map[int32]struct{}{cs: {}}
+	stack := []int32{cs}
+	expanded := 0
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		expanded++
+		for _, w := range x.cond.OutNeighbors(graph.VertexID(c)) {
+			cw := int32(w)
+			if cw == ct {
+				return true, expanded
+			}
+			if _, ok := visited[cw]; ok {
+				continue
+			}
+			if !x.containsAll(cw, ct) {
+				continue
+			}
+			visited[cw] = struct{}{}
+			stack = append(stack, cw)
+		}
+	}
+	return false, expanded
+}
+
+// SizeBytes reports the index footprint: k interval pairs per
+// condensation vertex plus the component table.
+func (x *Index) SizeBytes() int64 {
+	return int64(len(x.low)+len(x.post))*4 + int64(len(x.comp))*4
+}
+
+// NumVertices returns the number of original-graph vertices covered.
+func (x *Index) NumVertices() int { return len(x.comp) }

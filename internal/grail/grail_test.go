@@ -1,0 +1,130 @@
+package grail
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func randomDigraph(n, m int, seed int64) *graph.Digraph {
+	rng := rand.New(rand.NewSource(seed))
+	var edges []graph.Edge
+	for i := 0; i < m; i++ {
+		edges = append(edges, graph.Edge{
+			U: graph.VertexID(rng.Intn(n)),
+			V: graph.VertexID(rng.Intn(n)),
+		})
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// TestGrailExact: the labels only prune; answers must match BFS on
+// every pair, cyclic graphs included.
+func TestGrailExact(t *testing.T) {
+	graphs := map[string]*graph.Digraph{
+		"paper":   graph.PaperExample(),
+		"cyclic":  randomDigraph(40, 120, 2),
+		"sparse":  randomDigraph(60, 70, 3),
+		"single":  graph.FromEdges(1, nil),
+		"2-cycle": graph.FromEdges(2, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 0}}),
+	}
+	for name, g := range graphs {
+		for _, k := range []int{1, 3, 5} {
+			x, err := Build(g, Options{Traversals: k, Seed: 7})
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", name, k, err)
+			}
+			n := g.NumVertices()
+			for s := 0; s < n; s++ {
+				for d := 0; d < n; d++ {
+					want := graph.Reachable(g, graph.VertexID(s), graph.VertexID(d))
+					if got := x.Reachable(graph.VertexID(s), graph.VertexID(d)); got != want {
+						t.Fatalf("%s k=%d: q(%d,%d) = %v, want %v", name, k, s, d, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGrailIntervalSoundness: u→v in the condensation implies
+// containment in every traversal.
+func TestGrailIntervalSoundness(t *testing.T) {
+	g := randomDigraph(50, 140, 9)
+	x, err := Build(g, Options{Traversals: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc := x.cond.NumVertices()
+	for u := 0; u < nc; u++ {
+		for v := 0; v < nc; v++ {
+			if graph.Reachable(x.cond, graph.VertexID(u), graph.VertexID(v)) &&
+				!x.containsAll(int32(u), int32(v)) {
+				t.Fatalf("containment violated for reachable pair (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+// TestGrailMoreTraversalsPruneMore: with more labels, fewer fallback
+// expansions on unreachable pairs.
+func TestGrailMoreTraversalsPruneMore(t *testing.T) {
+	g := randomDigraph(200, 500, 4)
+	x1, err := Build(g, Options{Traversals: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x5, err := Build(g, Options{Traversals: 5, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	var e1, e5 int
+	for i := 0; i < 3000; i++ {
+		s := graph.VertexID(rng.Intn(200))
+		d := graph.VertexID(rng.Intn(200))
+		_, c1 := x1.ReachableCounted(s, d)
+		_, c5 := x5.ReachableCounted(s, d)
+		e1 += c1
+		e5 += c5
+	}
+	if e5 > e1 {
+		t.Errorf("5 traversals expanded more (%d) than 1 (%d)", e5, e1)
+	}
+}
+
+func TestGrailOptions(t *testing.T) {
+	g := graph.PaperExample()
+	if _, err := Build(g, Options{Traversals: -1}); err == nil {
+		t.Error("negative k should fail")
+	}
+	if _, err := Build(g, Options{Traversals: 100}); err == nil {
+		t.Error("huge k should fail")
+	}
+	x, err := Build(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.NumVertices() != 11 || x.SizeBytes() <= 0 {
+		t.Errorf("bad index: n=%d bytes=%d", x.NumVertices(), x.SizeBytes())
+	}
+}
+
+// TestGrailDeterministic: same seed, same labels.
+func TestGrailDeterministic(t *testing.T) {
+	g := randomDigraph(30, 80, 12)
+	a, err := Build(g, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(g, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.low {
+		if a.low[i] != b.low[i] || a.post[i] != b.post[i] {
+			t.Fatal("nondeterministic labels")
+		}
+	}
+}

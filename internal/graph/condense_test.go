@@ -1,0 +1,55 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCondensePaperExample(t *testing.T) {
+	g := PaperExample()
+	cond, comp := Condense(g)
+	if cond.NumVertices() != 6 {
+		t.Fatalf("condensation has %d vertices, want 6", cond.NumVertices())
+	}
+	if !IsAcyclic(cond) {
+		t.Fatal("condensation must be a DAG")
+	}
+	// {v1, v5, v7} and {v2, v3, v4, v6} collapse.
+	if comp[0] != comp[4] || comp[0] != comp[6] {
+		t.Error("v1, v5, v7 should collapse")
+	}
+	if comp[1] != comp[2] || comp[1] != comp[3] || comp[1] != comp[5] {
+		t.Error("v2, v3, v4, v6 should collapse")
+	}
+}
+
+// TestCondensePreservesReachability on random cyclic graphs.
+func TestCondensePreservesReachability(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 8; trial++ {
+		n := 5 + rng.Intn(30)
+		var edges []Edge
+		for i := 0; i < 3*n; i++ {
+			edges = append(edges, Edge{U: VertexID(rng.Intn(n)), V: VertexID(rng.Intn(n))})
+		}
+		g := FromEdges(n, edges)
+		cond, comp := Condense(g)
+		if !IsAcyclic(cond) {
+			t.Fatal("condensation must be acyclic")
+		}
+		for s := VertexID(0); int(s) < n; s++ {
+			for d := VertexID(0); int(d) < n; d++ {
+				want := Reachable(g, s, d)
+				var got bool
+				if comp[s] == comp[d] {
+					got = true
+				} else {
+					got = Reachable(cond, VertexID(comp[s]), VertexID(comp[d]))
+				}
+				if got != want {
+					t.Fatalf("trial %d: condensed reach(%d,%d) = %v, want %v", trial, s, d, got, want)
+				}
+			}
+		}
+	}
+}

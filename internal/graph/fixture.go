@@ -1,0 +1,24 @@
+package graph
+
+// PaperExample returns the 11-vertex, 15-edge running example of the
+// paper (Fig. 1). The paper numbers vertices v1..v11; here vertex v_i
+// has ID i-1. The edge set is reconstructed from Examples 1-14 and
+// Tables II/III, all of which the test suite reproduces verbatim:
+//
+//	N_in(v2) = {v6}, N_out(v2) = {v1, v3, v4, v5}          (Example 1)
+//	DES(v1)  = {v1, v5, v7, v8, v9}                        (Example 4)
+//	trimmed BFS from v3 (Example 8, Fig. 3)
+//	ord(v1) = 12.08, ord(v10) = 2.83                       (Example 3)
+func PaperExample() *Digraph {
+	edges := []Edge{
+		{0, 4}, {0, 7}, // v1 -> v5, v8
+		{1, 0}, {1, 2}, {1, 3}, {1, 4}, // v2 -> v1, v3, v4, v5
+		{2, 0}, {2, 3}, {2, 9}, // v3 -> v1, v4, v10
+		{3, 5}, {3, 10}, // v4 -> v6, v11
+		{4, 6}, // v5 -> v7
+		{5, 1}, // v6 -> v2
+		{6, 0}, // v7 -> v1
+		{7, 8}, // v8 -> v9
+	}
+	return FromEdges(11, edges)
+}

@@ -1,0 +1,63 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Fuzzers for the two on-disk formats: whatever the bytes, the
+// readers must either fail cleanly or produce a structurally valid
+// graph; valid graphs must round-trip.
+
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("# comment\n% konect\n3 4\n")
+	f.Add("")
+	f.Add("a b\n")
+	f.Add("-1 5\n")
+	f.Add("1 2 3 extra\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Structural sanity plus round trip.
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("writing parsed graph: %v", err)
+		}
+		back, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("re-reading written graph: %v", err)
+		}
+		if back.NumVertices() != g.NumVertices() || back.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed shape: %v vs %v", g, back)
+		}
+	})
+}
+
+func FuzzReadBinary(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteBinary(&seed, PaperExample()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, input []byte) {
+		g, err := ReadBinary(bytes.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Any accepted graph must have consistent degrees.
+		var inSum, outSum int64
+		for v := VertexID(0); int(v) < g.NumVertices(); v++ {
+			inSum += int64(g.InDegree(v))
+			outSum += int64(g.OutDegree(v))
+		}
+		if inSum != g.NumEdges() || outSum != g.NumEdges() {
+			t.Fatalf("inconsistent accepted graph: in=%d out=%d m=%d", inSum, outSum, g.NumEdges())
+		}
+	})
+}

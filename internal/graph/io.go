@@ -1,0 +1,231 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Text edge-list format: one "u v" pair per line, whitespace separated,
+// '#' and '%' introduce comment lines (SNAP and Konect conventions).
+//
+// Binary format: a fixed header followed by the two CSR directions;
+// loading a binary graph is an order of magnitude faster than parsing
+// text and is the format cmd/drgen emits by default.
+
+// ReadEdgeList parses a text edge list from r.
+func ReadEdgeList(r io.Reader) (*Digraph, error) {
+	edges, n, err := ReadEdges(r)
+	if err != nil {
+		return nil, err
+	}
+	return FromEdges(n, edges), nil
+}
+
+// ReadEdges parses a text edge list and returns the raw edges plus the
+// vertex count (max ID + 1).
+func ReadEdges(r io.Reader) ([]Edge, int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges []Edge
+	maxID := VertexID(-1)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' || text[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, 0, fmt.Errorf("graph: line %d: want \"u v\", got %q", line, text)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, 0, fmt.Errorf("graph: line %d: bad source vertex: %w", line, err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, 0, fmt.Errorf("graph: line %d: bad target vertex: %w", line, err)
+		}
+		if u < 0 || v < 0 {
+			return nil, 0, fmt.Errorf("graph: line %d: negative vertex id", line)
+		}
+		e := Edge{U: VertexID(u), V: VertexID(v)}
+		if e.U > maxID {
+			maxID = e.U
+		}
+		if e.V > maxID {
+			maxID = e.V
+		}
+		edges = append(edges, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	return edges, int(maxID) + 1, nil
+}
+
+// WriteEdgeList writes g as a text edge list.
+func WriteEdgeList(w io.Writer, g *Digraph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# directed graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+	for u := VertexID(0); int(u) < g.NumVertices(); u++ {
+		for _, v := range g.OutNeighbors(u) {
+			fmt.Fprintf(bw, "%d %d\n", u, v)
+		}
+	}
+	return bw.Flush()
+}
+
+const binaryMagic = uint64(0x44524c4752415048) // "DRLGRAPH"
+
+// WriteBinary writes g in the binary CSR format.
+func WriteBinary(w io.Writer, g *Digraph) error {
+	bw := bufio.NewWriter(w)
+	hdr := []uint64{binaryMagic, uint64(g.n), uint64(g.m)}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return fmt.Errorf("graph: writing binary header: %w", err)
+		}
+	}
+	for _, part := range []any{g.outOff, g.outAdj, g.inOff, g.inAdj} {
+		if err := binary.Write(bw, binary.LittleEndian, part); err != nil {
+			return fmt.Errorf("graph: writing binary section: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads a graph in the binary CSR format.
+func ReadBinary(r io.Reader) (*Digraph, error) {
+	br := bufio.NewReader(r)
+	var magic, n64, m64 uint64
+	for _, p := range []*uint64{&magic, &n64, &m64} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("graph: reading binary header: %w", err)
+		}
+	}
+	if magic != binaryMagic {
+		return nil, errors.New("graph: not a binary graph file (bad magic)")
+	}
+	if n64 > 1<<31 || m64 > 1<<40 {
+		return nil, fmt.Errorf("graph: implausible binary header n=%d m=%d", n64, m64)
+	}
+	n, m := int(n64), int64(m64)
+	// Sections are read in bounded chunks so a corrupt header cannot
+	// force a giant upfront allocation: a truncated stream fails at
+	// the first missing chunk instead.
+	outOff, err := readInt64s(br, n+1)
+	if err != nil {
+		return nil, err
+	}
+	outAdj, err := readVertexIDs(br, m)
+	if err != nil {
+		return nil, err
+	}
+	inOff, err := readInt64s(br, n+1)
+	if err != nil {
+		return nil, err
+	}
+	inAdj, err := readVertexIDs(br, m)
+	if err != nil {
+		return nil, err
+	}
+	if outOff[n] != m || inOff[n] != m {
+		return nil, errors.New("graph: corrupt binary file (offset mismatch)")
+	}
+	// Validate offsets and adjacency entries so a corrupt file cannot
+	// produce out-of-range slicing later.
+	for _, off := range [][]int64{outOff, inOff} {
+		if off[0] != 0 {
+			return nil, errors.New("graph: corrupt binary file (bad first offset)")
+		}
+		for i := 1; i <= n; i++ {
+			if off[i] < off[i-1] || off[i] > m {
+				return nil, errors.New("graph: corrupt binary file (non-monotone offsets)")
+			}
+		}
+	}
+	for _, adj := range [][]VertexID{outAdj, inAdj} {
+		for _, v := range adj {
+			if v < 0 || int(v) >= n {
+				return nil, errors.New("graph: corrupt binary file (vertex out of range)")
+			}
+		}
+	}
+	return newDigraph(int32(n), outOff, outAdj, inOff, inAdj), nil
+}
+
+// chunkElems bounds single allocations while reading untrusted sizes.
+const chunkElems = 1 << 16
+
+func readInt64s(r io.Reader, count int) ([]int64, error) {
+	out := make([]int64, 0, min(count, chunkElems))
+	for len(out) < count {
+		c := min(count-len(out), chunkElems)
+		chunk := make([]int64, c)
+		if err := binary.Read(r, binary.LittleEndian, chunk); err != nil {
+			return nil, fmt.Errorf("graph: reading binary section: %w", err)
+		}
+		out = append(out, chunk...)
+	}
+	return out, nil
+}
+
+func readVertexIDs(r io.Reader, count int64) ([]VertexID, error) {
+	out := make([]VertexID, 0, min(count, chunkElems))
+	for int64(len(out)) < count {
+		c := min(count-int64(len(out)), chunkElems)
+		chunk := make([]VertexID, c)
+		if err := binary.Read(r, binary.LittleEndian, chunk); err != nil {
+			return nil, fmt.Errorf("graph: reading binary section: %w", err)
+		}
+		out = append(out, chunk...)
+	}
+	return out, nil
+}
+
+// LoadFile loads a graph from path, detecting the binary format by its
+// magic number and falling back to the text edge-list parser.
+func LoadFile(path string) (*Digraph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("graph: %w", err)
+	}
+	defer f.Close()
+	var magic [8]byte
+	if _, err := io.ReadFull(f, magic[:]); err == nil &&
+		binary.LittleEndian.Uint64(magic[:]) == binaryMagic {
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return nil, fmt.Errorf("graph: %w", err)
+		}
+		return ReadBinary(f)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("graph: %w", err)
+	}
+	return ReadEdgeList(f)
+}
+
+// SaveFile writes g to path; binary chooses the format.
+func SaveFile(path string, g *Digraph, binaryFormat bool) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("graph: %w", err)
+	}
+	defer f.Close()
+	if binaryFormat {
+		if err := WriteBinary(f, g); err != nil {
+			return err
+		}
+	} else if err := WriteEdgeList(f, g); err != nil {
+		return err
+	}
+	return f.Close()
+}

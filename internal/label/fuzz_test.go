@@ -1,0 +1,41 @@
+package label
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/order"
+)
+
+// FuzzRead: arbitrary bytes must either fail cleanly or yield an
+// index whose queries cannot panic.
+func FuzzRead(f *testing.F) {
+	b := NewBuilder(order.FromRanks([]order.Rank{0, 1, 2}))
+	b.AddIn(1, 0)
+	b.AddIn(2, 0)
+	b.AddOut(0, 0)
+	b.AddOut(2, 2)
+	x := b.Finalize()
+	var seed bytes.Buffer
+	if _, err := x.WriteTo(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, input []byte) {
+		idx, err := Read(bytes.NewReader(input))
+		if err != nil {
+			return
+		}
+		n := idx.NumVertices()
+		for v := 0; v < n && v < 8; v++ {
+			for w := 0; w < n && w < 8; w++ {
+				idx.Reachable(graph.VertexID(v), graph.VertexID(w))
+			}
+		}
+		_ = idx.MaxLabelSize()
+		_ = idx.SizeBytes()
+	})
+}

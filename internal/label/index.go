@@ -1,0 +1,156 @@
+// Package label defines the reachability index produced by TOL and by
+// the paper's distributed labeling algorithms, the merge-intersection
+// query over it, and the trimmed BFS primitive (Algorithm 2) the
+// filtering phase is built on.
+//
+// A label entry is the *rank* of the labeling vertex in the total
+// order (rank 0 = highest order). Storing ranks instead of vertex IDs
+// keeps every per-vertex label list sorted by construction — TOL and
+// the batch algorithms emit labels in decreasing order — so the
+// intersection at query time is a linear merge, the
+// O(|L_out(s)| + |L_in(t)|) bound of §II-A.
+package label
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/order"
+)
+
+// Index is an immutable reachability index: an in-label and an
+// out-label set per vertex, each a rank-sorted slice.
+type Index struct {
+	n      int
+	ord    *order.Ordering
+	inOff  []int64
+	inLab  []order.Rank
+	outOff []int64
+	outLab []order.Rank
+}
+
+// NumVertices returns the number of vertices the index covers.
+func (x *Index) NumVertices() int { return x.n }
+
+// Ordering returns the vertex order the index was built under.
+func (x *Index) Ordering() *order.Ordering { return x.ord }
+
+// InLabels returns L_in(v) as a rank-sorted read-only slice.
+func (x *Index) InLabels(v graph.VertexID) []order.Rank {
+	return x.inLab[x.inOff[v]:x.inOff[v+1]]
+}
+
+// OutLabels returns L_out(v) as a rank-sorted read-only slice.
+func (x *Index) OutLabels(v graph.VertexID) []order.Rank {
+	return x.outLab[x.outOff[v]:x.outOff[v+1]]
+}
+
+// Reachable answers the reachability query q(s, t) from the index
+// alone: true iff L_out(s) ∩ L_in(t) ≠ ∅ (Definition 3). The two
+// sorted label lists are merged, never the graph touched.
+func (x *Index) Reachable(s, t graph.VertexID) bool {
+	a, b := x.OutLabels(s), x.InLabels(t)
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return true
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// Entries returns the total number of label entries Σ(|L_in|+|L_out|).
+func (x *Index) Entries() int64 {
+	return int64(len(x.inLab) + len(x.outLab))
+}
+
+// SizeBytes returns the byte footprint of the index payload: 4 bytes
+// per label entry plus the two offset arrays. This matches how the
+// paper reports "Index Size" in Table VI.
+func (x *Index) SizeBytes() int64 {
+	return 4*x.Entries() + 8*int64(len(x.inOff)+len(x.outOff))
+}
+
+// MaxLabelSize returns Δ = max_v max(|L_in(v)|, |L_out(v)|).
+func (x *Index) MaxLabelSize() int {
+	best := 0
+	for v := 0; v < x.n; v++ {
+		if l := int(x.inOff[v+1] - x.inOff[v]); l > best {
+			best = l
+		}
+		if l := int(x.outOff[v+1] - x.outOff[v]); l > best {
+			best = l
+		}
+	}
+	return best
+}
+
+// AvgLabelSize returns the mean of (|L_in(v)| + |L_out(v)|) / 2.
+func (x *Index) AvgLabelSize() float64 {
+	if x.n == 0 {
+		return 0
+	}
+	return float64(x.Entries()) / float64(2*x.n)
+}
+
+// Equal reports whether two indexes contain exactly the same label
+// sets (the paper's central claim: DRL variants reproduce TOL's index
+// bit for bit).
+func (x *Index) Equal(y *Index) bool {
+	if x.n != y.n {
+		return false
+	}
+	eq := func(aOff, bOff []int64, aLab, bLab []order.Rank) bool {
+		if len(aLab) != len(bLab) {
+			return false
+		}
+		for v := 0; v <= x.n; v++ {
+			if aOff[v] != bOff[v] {
+				return false
+			}
+		}
+		for i := range aLab {
+			if aLab[i] != bLab[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return eq(x.inOff, y.inOff, x.inLab, y.inLab) &&
+		eq(x.outOff, y.outOff, x.outLab, y.outLab)
+}
+
+// Diff returns a short description of the first difference between two
+// indexes, or "" if they are equal. Used by tests for readable
+// failures.
+func (x *Index) Diff(y *Index) string {
+	if x.n != y.n {
+		return fmt.Sprintf("vertex count %d vs %d", x.n, y.n)
+	}
+	for v := graph.VertexID(0); int(v) < x.n; v++ {
+		if d := diffLabels("L_in", v, x.InLabels(v), y.InLabels(v)); d != "" {
+			return d
+		}
+		if d := diffLabels("L_out", v, x.OutLabels(v), y.OutLabels(v)); d != "" {
+			return d
+		}
+	}
+	return ""
+}
+
+func diffLabels(kind string, v graph.VertexID, a, b []order.Rank) string {
+	if len(a) != len(b) {
+		return fmt.Sprintf("%s(v%d): %v vs %v", kind, v, a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Sprintf("%s(v%d): %v vs %v", kind, v, a, b)
+		}
+	}
+	return ""
+}

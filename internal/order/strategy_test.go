@@ -1,0 +1,71 @@
+package order
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestComputeStrategyAll(t *testing.T) {
+	g := graph.PaperExample()
+	n := g.NumVertices()
+	for _, s := range Strategies() {
+		o, err := ComputeStrategy(g, s)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		seen := make([]bool, n)
+		for v := graph.VertexID(0); int(v) < n; v++ {
+			r := o.RankOf(v)
+			if seen[r] {
+				t.Fatalf("%s: duplicate rank %d", s, r)
+			}
+			seen[r] = true
+			if o.VertexAt(r) != v {
+				t.Fatalf("%s: rank table inconsistent", s)
+			}
+		}
+	}
+}
+
+func TestComputeStrategySemantics(t *testing.T) {
+	g := graph.PaperExample()
+	// Default and empty string agree with Compute.
+	def, err := ComputeStrategy(g, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Compute(g)
+	for v := graph.VertexID(0); int(v) < g.NumVertices(); v++ {
+		if def.RankOf(v) != base.RankOf(v) {
+			t.Fatal("empty strategy must match Compute")
+		}
+	}
+	// ID order: vertex n-1 first.
+	byID, err := ComputeStrategy(g, StrategyID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byID.VertexAt(0) != 10 {
+		t.Errorf("id strategy should rank v11 first, got %d", byID.VertexAt(0))
+	}
+	// Out-degree: v2 (out-degree 4) first.
+	byOut, err := ComputeStrategy(g, StrategyOutDegree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byOut.VertexAt(0) != 1 {
+		t.Errorf("out-degree strategy should rank v2 first, got %d", byOut.VertexAt(0))
+	}
+	// Random is deterministic.
+	r1, _ := ComputeStrategy(g, StrategyRandom)
+	r2, _ := ComputeStrategy(g, StrategyRandom)
+	for v := graph.VertexID(0); int(v) < g.NumVertices(); v++ {
+		if r1.RankOf(v) != r2.RankOf(v) {
+			t.Fatal("random strategy must be deterministic")
+		}
+	}
+	if _, err := ComputeStrategy(g, "bogus"); err == nil {
+		t.Error("unknown strategy should fail")
+	}
+}

@@ -1,0 +1,233 @@
+package pregel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Engine runs vertex-centric programs over a fixed worker set. The
+// worker set (and any per-worker program state hung off Worker.State)
+// survives across Run calls, which is how the batch algorithm executes
+// one engine run per batch while accumulating labels.
+type Engine struct {
+	cfg     Config
+	g       *graph.Digraph
+	workers []*Worker
+}
+
+// New creates an engine over g with cfg.Workers partitions.
+func New(g *graph.Digraph, cfg Config) *Engine {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	e := &Engine{cfg: cfg, g: g}
+	for i := 0; i < cfg.Workers; i++ {
+		e.workers = append(e.workers, &Worker{
+			ID:     i,
+			P:      cfg.Workers,
+			Graph:  g,
+			outbox: make([][]Msg, cfg.Workers),
+		})
+	}
+	return e
+}
+
+// Workers returns the engine's worker set, e.g. for a program driver
+// to install or collect per-worker state.
+func (e *Engine) Workers() []*Worker { return e.workers }
+
+// Run executes the program until quiescence and returns the cost
+// metrics of this run.
+func (e *Engine) Run(p Program) (Metrics, error) {
+	var met Metrics
+	maxSteps := e.cfg.MaxSupersteps
+	if maxSteps <= 0 {
+		maxSteps = 4*e.g.NumVertices() + 64
+	}
+	for step := 0; ; step++ {
+		if step > maxSteps {
+			return met, fmt.Errorf("pregel: no quiescence after %d supersteps", maxSteps)
+		}
+		if canceled(e.cfg.Cancel) {
+			return met, ErrCanceled
+		}
+		if ps, ok := p.(PreStepper); ok {
+			if err := ps.PreStep(e.workers, step); err != nil {
+				return met, err
+			}
+		}
+
+		// Compute phase. The BSP makespan of the step is the slowest
+		// worker. Workers run as parallel goroutines when real cores
+		// are available; on a single core they run sequentially so
+		// that each worker's measured duration reflects its own work
+		// (P interleaved goroutines on one core would all measure the
+		// whole step). Either way the simulated cluster is P
+		// single-thread nodes, the paper's configuration.
+		durations := make([]time.Duration, len(e.workers))
+		actives := make([]bool, len(e.workers))
+		errs := make([]error, len(e.workers))
+		if runtime.GOMAXPROCS(0) > 1 && len(e.workers) > 1 {
+			var wg sync.WaitGroup
+			for i, w := range e.workers {
+				wg.Add(1)
+				go func(i int, w *Worker) {
+					defer wg.Done()
+					start := time.Now()
+					actives[i], errs[i] = p.Superstep(w, step)
+					durations[i] = time.Since(start)
+				}(i, w)
+			}
+			wg.Wait()
+		} else {
+			for i, w := range e.workers {
+				start := time.Now()
+				actives[i], errs[i] = p.Superstep(w, step)
+				durations[i] = time.Since(start)
+			}
+		}
+		for _, err := range errs {
+			if err != nil {
+				return met, err
+			}
+		}
+		var slowest time.Duration
+		anyActive := false
+		for i := range e.workers {
+			if durations[i] > slowest {
+				slowest = durations[i]
+			}
+			anyActive = anyActive || actives[i]
+		}
+		met.ComputeTime += slowest
+		met.Supersteps++
+
+		// Exchange phase.
+		exStart := time.Now()
+		delivered := e.exchange(&met)
+		met.CommTime += time.Since(exStart)
+		met.SimNetTime += e.cfg.Net.ExchangeCost(stepRemoteBytes(&met), len(e.workers))
+
+		if !delivered && !anyActive {
+			break
+		}
+	}
+	for _, w := range e.workers {
+		if err := p.Finish(w); err != nil {
+			return met, err
+		}
+	}
+	return met, nil
+}
+
+// stepRemoteBytes tracks the delta of remote bytes for the current
+// step so the netsim model is charged per superstep.
+func stepRemoteBytes(m *Metrics) int64 {
+	delta := m.BytesRemote - m.prevRemote
+	m.prevRemote = m.BytesRemote
+	return delta
+}
+
+// exchange serializes every outbox, moves the bytes, and decodes them
+// into the destination inboxes. It reports whether anything was
+// delivered.
+func (e *Engine) exchange(met *Metrics) bool {
+	p := len(e.workers)
+	// Gather broadcast blobs: every blob reaches all P workers.
+	var bcasts [][]byte
+	for _, w := range e.workers {
+		for _, blob := range w.bcast {
+			bcasts = append(bcasts, blob)
+			met.BcastBytes += int64(len(blob))
+			met.BytesRemote += int64(len(blob)) * int64(p-1)
+		}
+		w.bcast = nil
+	}
+
+	// Encode per (src,dst) pair. Messages to the local worker are
+	// serialized too — MPI packs buffers even for self sends — but
+	// their bytes are counted as local.
+	type packet struct{ buf []byte }
+	packets := make([][]packet, p) // packets[dst] = list of encoded bufs
+	for i := range packets {
+		packets[i] = make([]packet, 0, p)
+	}
+	delivered := false
+	for _, w := range e.workers {
+		met.Messages += w.msgsOut
+		w.msgsOut = 0
+		for dst, msgs := range w.outbox {
+			if len(msgs) == 0 {
+				continue
+			}
+			delivered = true
+			buf := encodeMsgs(msgs)
+			if dst == w.ID {
+				met.BytesLocal += int64(len(buf))
+			} else {
+				met.BytesRemote += int64(len(buf))
+			}
+			packets[dst] = append(packets[dst], packet{buf: buf})
+			w.outbox[dst] = msgs[:0]
+		}
+	}
+
+	// Decode at the receivers, in parallel.
+	var wg sync.WaitGroup
+	for i, w := range e.workers {
+		wg.Add(1)
+		go func(i int, w *Worker) {
+			defer wg.Done()
+			w.Inbox = w.Inbox[:0]
+			for _, pk := range packets[i] {
+				w.Inbox = decodeMsgs(pk.buf, w.Inbox)
+			}
+			w.BcastIn = bcasts
+		}(i, w)
+	}
+	wg.Wait()
+	return delivered || len(bcasts) > 0
+}
+
+func encodeMsgs(msgs []Msg) []byte {
+	buf := make([]byte, 0, len(msgs)*msgWireSize)
+	for _, m := range msgs {
+		var rec [msgWireSize]byte
+		binary.LittleEndian.PutUint32(rec[0:4], uint32(m.Dst))
+		rec[4] = m.Kind
+		binary.LittleEndian.PutUint32(rec[5:9], uint32(m.Val))
+		binary.LittleEndian.PutUint32(rec[9:13], uint32(m.Val2))
+		buf = append(buf, rec[:]...)
+	}
+	return buf
+}
+
+func decodeMsgs(buf []byte, dst []Msg) []Msg {
+	for len(buf) >= msgWireSize {
+		dst = append(dst, Msg{
+			Dst:  graph.VertexID(binary.LittleEndian.Uint32(buf[0:4])),
+			Kind: buf[4],
+			Val:  int32(binary.LittleEndian.Uint32(buf[5:9])),
+			Val2: int32(binary.LittleEndian.Uint32(buf[9:13])),
+		})
+		buf = buf[msgWireSize:]
+	}
+	return dst
+}
+
+func canceled(c <-chan struct{}) bool {
+	if c == nil {
+		return false
+	}
+	select {
+	case <-c:
+		return true
+	default:
+		return false
+	}
+}

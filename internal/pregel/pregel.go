@@ -1,0 +1,176 @@
+// Package pregel is the vertex-centric bulk-synchronous-parallel
+// system the paper's distributed algorithms run on (§II-C).
+//
+// A graph is partitioned across P workers by vertex ID (v mod P, the
+// mapping the paper uses). Computation proceeds in supersteps: every
+// worker runs the program's Superstep against the messages delivered
+// in the previous step, producing new messages and optional broadcast
+// blobs; the engine then performs the exchange. The run terminates
+// when a superstep produces no messages, no broadcasts, and every
+// worker has voted to halt.
+//
+// Messages destined for another worker are serialized into flat byte
+// buffers and decoded at the receiver, so the communication cost the
+// engine measures includes real encode/copy/decode work; wire latency
+// and bandwidth for the simulated cluster are added from a
+// netsim.Model. Workers run as goroutines in-process by default; a
+// net/rpc transport for genuinely separate worker processes lives in
+// rpc.go and is exercised by cmd/drworker and cmd/drcluster.
+package pregel
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/netsim"
+)
+
+// ErrCanceled is returned when a run is aborted through Config.Cancel.
+var ErrCanceled = errors.New("pregel: run canceled")
+
+// Msg is the fixed-size message record exchanged between vertices.
+// The interpretation of Kind, Val, and Val2 is up to the program: the
+// labeling programs put a vertex rank in Val and a direction flag in
+// Kind; the distributed-DFS token of BFL carries the sender in Val
+// and a running counter in Val2.
+type Msg struct {
+	Dst  graph.VertexID
+	Kind uint8
+	Val  int32
+	Val2 int32
+}
+
+const msgWireSize = 13 // 4 (dst) + 1 (kind) + 4 (val) + 4 (val2)
+
+// Config configures an engine.
+type Config struct {
+	// Workers is the number of computation nodes P (default 1).
+	Workers int
+	// Net is the simulated interconnect (zero value = free network).
+	Net netsim.Model
+	// Cancel aborts the run when closed.
+	Cancel <-chan struct{}
+	// MaxSupersteps aborts a run that fails to quiesce (a program
+	// bug). 0 means the default of 4·|V|+64, which suits the BFS-style
+	// programs; the token-passing DFS of BFL^D sets its own bound.
+	MaxSupersteps int
+}
+
+// Program is a distributed vertex-centric computation. One Program
+// value is instantiated per worker via NewState; Superstep is invoked
+// once per worker per superstep, concurrently across workers.
+type Program interface {
+	// Superstep processes w.Inbox and w.BcastIn and emits messages and
+	// broadcasts through w. Returning active=false is the worker's
+	// vote to halt; the vote is revoked automatically when the worker
+	// receives messages in a later step.
+	Superstep(w *Worker, step int) (active bool, err error)
+	// Finish runs after the final superstep on every worker (the
+	// paper's "only run after the final super-step" block).
+	Finish(w *Worker) error
+}
+
+// PreStepper is an optional Program extension. PreStep runs
+// single-threaded before each superstep's parallel compute phase,
+// after broadcasts have been delivered. Programs use it to apply the
+// broadcast blobs to replicated state exactly once: in a physical
+// cluster every worker would hold its own copy of the replica, but
+// in-process one shared copy is semantically identical (broadcast
+// bytes are still charged per receiving worker) and avoids multiplying
+// memory by P.
+type PreStepper interface {
+	PreStep(workers []*Worker, step int) error
+}
+
+// Worker is one computation node: a partition of the vertices plus
+// the exchange endpoints the program uses during a superstep.
+type Worker struct {
+	// ID is the worker index in [0, P).
+	ID int
+	// P is the number of workers.
+	P int
+	// Graph is the (read-only) graph; the worker owns the vertices v
+	// with v mod P == ID and must only write state for those.
+	Graph *graph.Digraph
+	// State is program-owned per-worker state, set up lazily by the
+	// program on the first superstep.
+	State any
+
+	// Inbox holds the messages delivered to this worker's vertices in
+	// the previous exchange, in arbitrary order.
+	Inbox []Msg
+	// BcastIn holds the broadcast blobs published by all workers
+	// (including this one) in the previous exchange.
+	BcastIn [][]byte
+
+	outbox  [][]Msg // per-destination-worker staging
+	bcast   [][]byte
+	msgsOut int64
+}
+
+// Owns reports whether this worker owns vertex v.
+func (w *Worker) Owns(v graph.VertexID) bool { return int(v)%w.P == w.ID }
+
+// OwnerOf returns the worker index owning vertex v.
+func (w *Worker) OwnerOf(v graph.VertexID) int { return int(v) % w.P }
+
+// OwnedVertices calls fn for every vertex this worker owns.
+func (w *Worker) OwnedVertices(fn func(v graph.VertexID)) {
+	n := graph.VertexID(w.Graph.NumVertices())
+	for v := graph.VertexID(w.ID); v < n; v += graph.VertexID(w.P) {
+		fn(v)
+	}
+}
+
+// Send queues a message for delivery in the next superstep.
+func (w *Worker) Send(m Msg) {
+	d := w.OwnerOf(m.Dst)
+	w.outbox[d] = append(w.outbox[d], m)
+	w.msgsOut++
+}
+
+// Broadcast publishes a blob to every worker (delivered next
+// superstep, including back to the sender). The engine counts
+// len(blob) × (P−1) remote bytes for it.
+func (w *Worker) Broadcast(blob []byte) {
+	if len(blob) == 0 {
+		return
+	}
+	w.bcast = append(w.bcast, blob)
+}
+
+// Metrics aggregates the cost of a run, split the way Fig. 5 reports
+// it: computation vs communication.
+type Metrics struct {
+	Supersteps  int
+	ComputeTime time.Duration // max across workers, summed over steps
+	CommTime    time.Duration // measured exchange (serialize+copy+decode)
+	SimNetTime  time.Duration // modeled wire latency + bandwidth
+	Messages    int64
+	BytesLocal  int64 // bytes that stayed on the owning worker
+	BytesRemote int64 // bytes that crossed worker boundaries
+	BcastBytes  int64
+
+	// prevRemote is internal bookkeeping for per-step netsim charging.
+	prevRemote int64
+}
+
+// TotalComm returns measured plus simulated communication time.
+func (m *Metrics) TotalComm() time.Duration { return m.CommTime + m.SimNetTime }
+
+// Total returns the full modeled index time.
+func (m *Metrics) Total() time.Duration { return m.ComputeTime + m.CommTime + m.SimNetTime }
+
+// Add accumulates other into m (used when an algorithm performs
+// several engine runs, e.g. one per batch).
+func (m *Metrics) Add(other Metrics) {
+	m.Supersteps += other.Supersteps
+	m.ComputeTime += other.ComputeTime
+	m.CommTime += other.CommTime
+	m.SimNetTime += other.SimNetTime
+	m.Messages += other.Messages
+	m.BytesLocal += other.BytesLocal
+	m.BytesRemote += other.BytesRemote
+	m.BcastBytes += other.BcastBytes
+}

@@ -1,0 +1,361 @@
+package pregel
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// RPC transport: the same vertex-centric programs running as genuinely
+// separate worker processes connected over TCP (net/rpc), instead of
+// goroutines in one address space. A master process drives the
+// superstep loop: it calls Step on every worker, routes the returned
+// packets, and stops at quiescence. cmd/drworker hosts the worker
+// service; cmd/drcluster and the integration tests host the master.
+//
+// Programs are instantiated inside each worker process from a
+// registered factory (the master only sends the program name and
+// parameters), so each process holds its own replica state — the
+// in-process PreStep sharing trick does not and need not apply.
+
+// RPCServiceName is the registered net/rpc service name.
+const RPCServiceName = "DRLWorker"
+
+// RPCFactory creates a program instance and a result collector inside
+// a worker process. Collect encodes whatever the program's Finish left
+// in the worker state; the master concatenates the blobs.
+type RPCFactory struct {
+	// New creates the program for one engine run. It is called once
+	// per run (the batch algorithm runs once per batch) with the
+	// run's parameters; worker state persists across runs.
+	New func(params map[string]string, w *Worker) (Program, error)
+	// Collect encodes the worker's final results after the last run.
+	Collect func(w *Worker) ([]byte, error)
+}
+
+var (
+	rpcRegistry = map[string]RPCFactory{}
+	rpcMu       sync.Mutex
+)
+
+// RegisterRPC registers a program factory under a name. Intended to be
+// called from init functions of program packages.
+func RegisterRPC(name string, f RPCFactory) {
+	rpcMu.Lock()
+	defer rpcMu.Unlock()
+	rpcRegistry[name] = f
+}
+
+func lookupRPC(name string) (RPCFactory, error) {
+	rpcMu.Lock()
+	defer rpcMu.Unlock()
+	f, ok := rpcRegistry[name]
+	if !ok {
+		return RPCFactory{}, fmt.Errorf("pregel: no RPC program %q registered", name)
+	}
+	return f, nil
+}
+
+// InitArgs configures a worker process for a job.
+type InitArgs struct {
+	WorkerID   int
+	NumWorkers int
+	// GraphPath is loaded by the worker itself: in a real deployment
+	// every node reads its partition from shared storage.
+	GraphPath string
+}
+
+// BeginRunArgs starts one engine run (e.g. one batch).
+type BeginRunArgs struct {
+	Program string
+	Params  map[string]string
+}
+
+// StepArgs carries one superstep's inputs to a worker.
+type StepArgs struct {
+	Step    int
+	Packets [][]byte // encoded Msg buffers destined to this worker
+	Bcasts  [][]byte // all broadcasts from the previous step
+}
+
+// StepReply carries the worker's outputs.
+type StepReply struct {
+	Active       bool
+	Out          map[int][]byte // destination worker -> encoded messages
+	Bcasts       [][]byte
+	ComputeNanos int64
+}
+
+// CollectReply returns the worker's encoded results.
+type CollectReply struct {
+	Blob []byte
+}
+
+// WorkerServer is the net/rpc service hosting one partition.
+type WorkerServer struct {
+	mu      sync.Mutex
+	w       *Worker
+	factory RPCFactory
+	prog    Program
+}
+
+// NewWorkerServer returns an empty worker service; Init must be called
+// over RPC before anything else.
+func NewWorkerServer() *WorkerServer { return &WorkerServer{} }
+
+// Init loads the graph and prepares the partition.
+func (s *WorkerServer) Init(args InitArgs, _ *struct{}) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, err := graph.LoadFile(args.GraphPath)
+	if err != nil {
+		return fmt.Errorf("worker %d: loading graph: %w", args.WorkerID, err)
+	}
+	s.w = &Worker{
+		ID:     args.WorkerID,
+		P:      args.NumWorkers,
+		Graph:  g,
+		outbox: make([][]Msg, args.NumWorkers),
+	}
+	return nil
+}
+
+// BeginRun instantiates the program for the next engine run.
+func (s *WorkerServer) BeginRun(args BeginRunArgs, _ *struct{}) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil {
+		return errors.New("pregel: BeginRun before Init")
+	}
+	f, err := lookupRPC(args.Program)
+	if err != nil {
+		return err
+	}
+	s.factory = f
+	s.prog, err = f.New(args.Params, s.w)
+	return err
+}
+
+// Step runs one superstep on the local partition.
+func (s *WorkerServer) Step(args StepArgs, reply *StepReply) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.prog == nil {
+		return errors.New("pregel: Step before BeginRun")
+	}
+	w := s.w
+	w.Inbox = w.Inbox[:0]
+	for _, pk := range args.Packets {
+		w.Inbox = decodeMsgs(pk, w.Inbox)
+	}
+	w.BcastIn = args.Bcasts
+
+	start := time.Now()
+	if ps, ok := s.prog.(PreStepper); ok {
+		if err := ps.PreStep([]*Worker{w}, args.Step); err != nil {
+			return err
+		}
+	}
+	active, err := s.prog.Superstep(w, args.Step)
+	if err != nil {
+		return err
+	}
+	reply.ComputeNanos = time.Since(start).Nanoseconds()
+	reply.Active = active
+	reply.Out = make(map[int][]byte)
+	for dst, msgs := range w.outbox {
+		if len(msgs) == 0 {
+			continue
+		}
+		reply.Out[dst] = encodeMsgs(msgs)
+		w.outbox[dst] = msgs[:0]
+	}
+	w.msgsOut = 0
+	reply.Bcasts = w.bcast
+	w.bcast = nil
+	return nil
+}
+
+// FinishRun runs the program's Finish (final-superstep block).
+func (s *WorkerServer) FinishRun(_ struct{}, _ *struct{}) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.prog == nil {
+		return errors.New("pregel: FinishRun before BeginRun")
+	}
+	return s.prog.Finish(s.w)
+}
+
+// Collect encodes the worker's final results.
+func (s *WorkerServer) Collect(_ struct{}, reply *CollectReply) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.factory.Collect == nil {
+		return errors.New("pregel: Collect without a finished run")
+	}
+	blob, err := s.factory.Collect(s.w)
+	reply.Blob = blob
+	return err
+}
+
+// ServeWorker listens on addr and serves the worker service until the
+// listener fails. It returns the bound address through ready (useful
+// with ":0") and blocks.
+func ServeWorker(addr string, ready chan<- string) error {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName(RPCServiceName, NewWorkerServer()); err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go srv.ServeConn(conn)
+	}
+}
+
+// Master coordinates a cluster of RPC workers.
+type Master struct {
+	clients []*rpc.Client
+	// Metrics accumulates across runs, like the in-process engine.
+	Metrics Metrics
+}
+
+// DialCluster connects to the worker addresses and initializes each
+// with its partition assignment.
+func DialCluster(addrs []string, graphPath string) (*Master, error) {
+	m := &Master{}
+	for i, addr := range addrs {
+		c, err := rpc.Dial("tcp", addr)
+		if err != nil {
+			m.Close()
+			return nil, fmt.Errorf("pregel: dialing worker %d at %s: %w", i, addr, err)
+		}
+		m.clients = append(m.clients, c)
+	}
+	for i, c := range m.clients {
+		args := InitArgs{WorkerID: i, NumWorkers: len(m.clients), GraphPath: graphPath}
+		if err := c.Call(RPCServiceName+".Init", args, &struct{}{}); err != nil {
+			m.Close()
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// Close drops the worker connections.
+func (m *Master) Close() {
+	for _, c := range m.clients {
+		if c != nil {
+			c.Close()
+		}
+	}
+}
+
+// Run drives one engine run of the named program to quiescence.
+func (m *Master) Run(program string, params map[string]string, maxSteps int) error {
+	p := len(m.clients)
+	for _, c := range m.clients {
+		if err := c.Call(RPCServiceName+".BeginRun", BeginRunArgs{Program: program, Params: params}, &struct{}{}); err != nil {
+			return err
+		}
+	}
+	pending := make([][][]byte, p) // packets destined to each worker
+	var bcasts [][]byte
+	if maxSteps <= 0 {
+		maxSteps = 1 << 30
+	}
+	for step := 0; step < maxSteps; step++ {
+		replies := make([]StepReply, p)
+		errs := make([]error, p)
+		var wg sync.WaitGroup
+		exStart := time.Now()
+		for i, c := range m.clients {
+			wg.Add(1)
+			go func(i int, c *rpc.Client) {
+				defer wg.Done()
+				args := StepArgs{Step: step, Packets: pending[i], Bcasts: bcasts}
+				errs[i] = c.Call(RPCServiceName+".Step", args, &replies[i])
+			}(i, c)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		m.Metrics.Supersteps++
+		m.Metrics.CommTime += time.Since(exStart) // includes RPC transfer
+		var slowest time.Duration
+		anyActive := false
+		delivered := false
+		next := make([][][]byte, p)
+		bcasts = nil
+		for i := range replies {
+			r := &replies[i]
+			if d := time.Duration(r.ComputeNanos); d > slowest {
+				slowest = d
+			}
+			anyActive = anyActive || r.Active
+			keys := make([]int, 0, len(r.Out))
+			for dst := range r.Out {
+				keys = append(keys, dst)
+			}
+			sort.Ints(keys)
+			for _, dst := range keys {
+				buf := r.Out[dst]
+				delivered = true
+				if dst == i {
+					m.Metrics.BytesLocal += int64(len(buf))
+				} else {
+					m.Metrics.BytesRemote += int64(len(buf))
+				}
+				next[dst] = append(next[dst], buf)
+			}
+			for _, b := range r.Bcasts {
+				bcasts = append(bcasts, b)
+				m.Metrics.BcastBytes += int64(len(b))
+				m.Metrics.BytesRemote += int64(len(b)) * int64(p-1)
+			}
+		}
+		m.Metrics.ComputeTime += slowest
+		m.Metrics.CommTime -= slowest // Step RPC time included compute; keep the split honest
+		pending = next
+		if !delivered && len(bcasts) == 0 && !anyActive {
+			break
+		}
+	}
+	for _, c := range m.clients {
+		if err := c.Call(RPCServiceName+".FinishRun", struct{}{}, &struct{}{}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Collect gathers every worker's result blob.
+func (m *Master) Collect() ([][]byte, error) {
+	blobs := make([][]byte, len(m.clients))
+	for i, c := range m.clients {
+		var reply CollectReply
+		if err := c.Call(RPCServiceName+".Collect", struct{}{}, &reply); err != nil {
+			return nil, err
+		}
+		blobs[i] = reply.Blob
+	}
+	return blobs, nil
+}

@@ -1,0 +1,307 @@
+package tol
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/label"
+	"repro/internal/order"
+)
+
+// Dynamic maintenance. The TOL line of work (Zhu et al., SIGMOD 2014)
+// maintains the index under edge updates instead of rebuilding; the
+// paper reproduced here treats *distributed* dynamic maintenance as
+// future work (§II-B Remark) but depends on TOL-the-system, so the
+// centralized maintenance lives here as part of the substrate.
+//
+// The implementation exploits the fixed-point characterization that
+// also drives the static algorithms (Lemma 1): under a fixed total
+// order,
+//
+//	x ∈ L_in(y)  ⇔  x→y  ∧  L_out(x)|<r ∩ L_in(y)|<r = ∅,
+//
+// where |<r restricts to ranks above x's rank r. Inserting or
+// deleting an edge (u,v) can only change walks that traverse it, so
+// only pairs (x, y) with x ∈ ANC(u) and y ∈ DES(v) can change
+// membership — in either label direction. DynamicIndex re-evaluates
+// exactly those pairs in increasing rank order, which keeps the
+// characterization's precondition (all higher-rank labels final)
+// intact. The result is bit-identical to a fresh TOL build under the
+// same order, which the tests verify exhaustively.
+//
+// As in the original TOL, the total order is frozen at construction:
+// updates change degrees but not ranks. Queries remain exact; only
+// label sizes may drift from the degree heuristic's optimum until a
+// Rebuild.
+
+// DynamicIndex is a reachability index that supports edge insertions
+// and deletions.
+type DynamicIndex struct {
+	cur *graph.Digraph
+	ord *order.Ordering
+	// in[y], out[y]: rank-sorted label lists.
+	in, out [][]order.Rank
+}
+
+// NewDynamic builds a dynamic index over g with the degree-product
+// order of the initial graph.
+func NewDynamic(g *graph.Digraph) *DynamicIndex {
+	ord := order.Compute(g)
+	n := g.NumVertices()
+	idx := Build(g, ord)
+	d := &DynamicIndex{
+		cur: g,
+		ord: ord,
+		in:  make([][]order.Rank, n),
+		out: make([][]order.Rank, n),
+	}
+	for v := graph.VertexID(0); int(v) < n; v++ {
+		d.in[v] = append([]order.Rank(nil), idx.InLabels(v)...)
+		d.out[v] = append([]order.Rank(nil), idx.OutLabels(v)...)
+	}
+	return d
+}
+
+// Graph returns the current graph.
+func (d *DynamicIndex) Graph() *graph.Digraph { return d.cur }
+
+// Reachable answers q(s, t) from the maintained labels.
+func (d *DynamicIndex) Reachable(s, t graph.VertexID) bool {
+	a, b := d.out[s], d.in[t]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return true
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// Snapshot materializes the current labels as an immutable Index.
+func (d *DynamicIndex) Snapshot() *label.Index {
+	return label.FromLists(d.ord, d.in, d.out)
+}
+
+// InsertEdge adds the directed edge (u, v) and repairs the labels.
+// Inserting an existing edge is a no-op.
+func (d *DynamicIndex) InsertEdge(u, v graph.VertexID) error {
+	if err := d.check(u, v); err != nil {
+		return err
+	}
+	if contains(d.cur.OutNeighbors(u), v) {
+		return nil
+	}
+	edges := d.cur.Edges(nil)
+	edges = append(edges, graph.Edge{U: u, V: v})
+	d.cur = graph.FromEdges(d.cur.NumVertices(), edges)
+	d.repair(u, v)
+	return nil
+}
+
+// DeleteEdge removes the directed edge (u, v) and repairs the labels.
+// Deleting a missing edge is a no-op.
+func (d *DynamicIndex) DeleteEdge(u, v graph.VertexID) error {
+	if err := d.check(u, v); err != nil {
+		return err
+	}
+	if !contains(d.cur.OutNeighbors(u), v) {
+		return nil
+	}
+	old := d.cur.Edges(nil)
+	edges := old[:0]
+	removed := false
+	for _, e := range old {
+		if !removed && e.U == u && e.V == v {
+			removed = true
+			continue
+		}
+		edges = append(edges, e)
+	}
+	d.cur = graph.FromEdges(d.cur.NumVertices(), edges)
+	d.repair(u, v)
+	return nil
+}
+
+func (d *DynamicIndex) check(u, v graph.VertexID) error {
+	n := d.cur.NumVertices()
+	if int(u) >= n || u < 0 || int(v) >= n || v < 0 {
+		return fmt.Errorf("tol: edge (%d,%d) out of range for %d vertices", u, v, n)
+	}
+	return nil
+}
+
+// repair re-evaluates label membership for every pair that an update
+// of edge (u, v) can affect: sources A = ANC(u), targets D = DES(v),
+// both in the *union* of the old and new graphs (computed on the new
+// graph plus the endpoints; for a deletion the old-graph sets are
+// supersets, and re-evaluating a pair that did not change is
+// harmless, so the sets are taken generously).
+func (d *DynamicIndex) repair(u, v graph.VertexID) {
+	n := d.cur.NumVertices()
+	// Affected sets on the new graph; for deletions the broken pairs
+	// are those that could reach through (u,v) before, which is still
+	// ANC(u) × DES(v) on the old graph — ANC/DES only shrink, but any
+	// pair that left the sets can no longer have changed membership
+	// unless it used the edge, in which case it is still in
+	// ANC(u) × DES(v) of the *new* graph union {u} × {v} closure...
+	// To stay safely conservative both computations run on the graph
+	// that contains the edge: for insertion that is the new graph,
+	// for deletion the sets are augmented with the old labels' view
+	// by also traversing the deleted edge.
+	anc := markSet(d.cur.Inverse(), u, n, graph.Edge{U: v, V: u})
+	des := markSet(d.cur, v, n, graph.Edge{U: u, V: v})
+
+	// The incremental sweep costs O(|A|·|D|·Δ + |A|·|E|): a bargain
+	// for localized updates (DAG-like regions) but worse than a fresh
+	// build when the update touches a giant SCC. Fall back to the
+	// rebuild in that regime — the order stays frozen either way, so
+	// the resulting labels are identical.
+	if int64(len(anc))*int64(len(des)) > 8*(int64(n)+d.cur.NumEdges()) {
+		idx := Build(d.cur, d.ord)
+		for w := graph.VertexID(0); int(w) < n; w++ {
+			d.in[w] = append(d.in[w][:0], idx.InLabels(w)...)
+			d.out[w] = append(d.out[w][:0], idx.OutLabels(w)...)
+		}
+		return
+	}
+
+	inA := make([]bool, n)
+	for _, x := range anc {
+		inA[x] = true
+	}
+	inD := make([]bool, n)
+	for _, y := range des {
+		inD[y] = true
+	}
+
+	// Fresh reachability from every affected source over the new
+	// graph, restricted to targets in D (one BFS per source; exact
+	// for deletions, where the old index cannot answer reach').
+	reachD := make(map[graph.VertexID]map[graph.VertexID]bool, len(anc))
+	for _, x := range anc {
+		m := make(map[graph.VertexID]bool)
+		graph.BFS(d.cur, x, func(w graph.VertexID) bool {
+			if inD[w] {
+				m[w] = true
+			}
+			return true
+		})
+		reachD[x] = m
+	}
+	// And reachability *to* every affected target from sources in A,
+	// for the out-label direction (x ∈ D as the labeling vertex,
+	// w ∈ A as the labeled one: does w reach x?).
+	reachA := make(map[graph.VertexID]map[graph.VertexID]bool, len(des))
+	inv := d.cur.Inverse()
+	for _, y := range des {
+		m := make(map[graph.VertexID]bool)
+		graph.BFS(inv, y, func(w graph.VertexID) bool {
+			if inA[w] {
+				m[w] = true
+			}
+			return true
+		})
+		reachA[y] = m
+	}
+
+	// Rank-ascending sweep: at rank r the labels below r are final.
+	ranks := make([]order.Rank, 0, len(anc)+len(des))
+	for _, x := range anc {
+		ranks = append(ranks, d.ord.RankOf(x))
+	}
+	for _, y := range des {
+		if !inA[y] { // avoid double-processing vertices in both sets
+			ranks = append(ranks, d.ord.RankOf(y))
+		}
+	}
+	sort.Slice(ranks, func(i, j int) bool { return ranks[i] < ranks[j] })
+
+	for _, r := range ranks {
+		x := d.ord.VertexAt(r)
+		if inA[x] {
+			// x labels in-direction targets in D.
+			for _, y := range des {
+				want := reachD[x][y] && disjointBelow(d.out[x], d.in[y], r)
+				d.in[y] = setMembership(d.in[y], r, want)
+			}
+		}
+		if inD[x] {
+			// x labels out-direction targets in A.
+			for _, w := range anc {
+				want := reachA[x][w] && disjointBelow(d.out[w], d.in[x], r)
+				d.out[w] = setMembership(d.out[w], r, want)
+			}
+		}
+	}
+}
+
+// markSet collects the BFS closure of src over dir, additionally
+// traversing extra (the updated edge) as if present — this makes the
+// affected sets valid for deletions, where the removed edge's old
+// walks must still be considered.
+func markSet(dir *graph.Digraph, src graph.VertexID, n int, extra graph.Edge) []graph.VertexID {
+	seen := make([]bool, n)
+	queue := []graph.VertexID{src}
+	seen[src] = true
+	var out []graph.VertexID
+	for len(queue) > 0 {
+		w := queue[0]
+		queue = queue[1:]
+		out = append(out, w)
+		push := func(x graph.VertexID) {
+			if !seen[x] {
+				seen[x] = true
+				queue = append(queue, x)
+			}
+		}
+		for _, x := range dir.OutNeighbors(w) {
+			push(x)
+		}
+		if w == extra.U {
+			push(extra.V)
+		}
+	}
+	return out
+}
+
+// disjointBelow mirrors drl's refinement test: no common rank < bound.
+func disjointBelow(a, b []order.Rank, bound order.Rank) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) && a[i] < bound && b[j] < bound {
+		switch {
+		case a[i] == b[j]:
+			return false
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return true
+}
+
+// setMembership inserts or removes rank r in a sorted list.
+func setMembership(list []order.Rank, r order.Rank, want bool) []order.Rank {
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= r })
+	present := i < len(list) && list[i] == r
+	switch {
+	case want && !present:
+		list = append(list, 0)
+		copy(list[i+1:], list[i:])
+		list[i] = r
+	case !want && present:
+		list = append(list[:i], list[i+1:]...)
+	}
+	return list
+}
+
+func contains(vs []graph.VertexID, v graph.VertexID) bool {
+	i := sort.Search(len(vs), func(i int) bool { return vs[i] >= v })
+	return i < len(vs) && vs[i] == v
+}

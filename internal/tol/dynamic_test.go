@@ -1,0 +1,140 @@
+package tol
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestDynamicMatchesRebuild applies random edge insertions and
+// deletions and verifies after every update that the maintained
+// labels are bit-identical to a from-scratch TOL build over the
+// current graph under the frozen order.
+func TestDynamicMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 4; trial++ {
+		n := 12 + rng.Intn(18)
+		var edges []graph.Edge
+		for i := 0; i < 2*n; i++ {
+			edges = append(edges, graph.Edge{
+				U: graph.VertexID(rng.Intn(n)),
+				V: graph.VertexID(rng.Intn(n)),
+			})
+		}
+		g := graph.FromEdges(n, edges)
+		d := NewDynamic(g)
+
+		for op := 0; op < 40; op++ {
+			u := graph.VertexID(rng.Intn(n))
+			v := graph.VertexID(rng.Intn(n))
+			var err error
+			if rng.Intn(2) == 0 {
+				err = d.InsertEdge(u, v)
+			} else {
+				err = d.DeleteEdge(u, v)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := Build(d.Graph(), d.ord)
+			got := d.Snapshot()
+			if !want.Equal(got) {
+				t.Fatalf("trial %d op %d: labels diverged after update (%d,%d): %s",
+					trial, op, u, v, want.Diff(got))
+			}
+		}
+	}
+}
+
+// TestDynamicQueries checks the maintained index against the BFS
+// oracle across a mutation sequence on the paper example.
+func TestDynamicQueries(t *testing.T) {
+	d := NewDynamic(graph.PaperExample())
+	ops := []struct {
+		insert bool
+		u, v   graph.VertexID
+	}{
+		{true, 9, 0},  // v10 → v1: v10 suddenly reaches almost everything
+		{false, 1, 0}, // remove v2 → v1
+		{false, 5, 1}, // remove v6 → v2: breaks the big cycle
+		{true, 8, 3},  // v9 → v4
+		{false, 0, 7}, // remove v1 → v8
+	}
+	for _, op := range ops {
+		var err error
+		if op.insert {
+			err = d.InsertEdge(op.u, op.v)
+		} else {
+			err = d.DeleteEdge(op.u, op.v)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := d.Graph()
+		for s := graph.VertexID(0); int(s) < 11; s++ {
+			for x := graph.VertexID(0); int(x) < 11; x++ {
+				want := graph.Reachable(g, s, x)
+				if got := d.Reachable(s, x); got != want {
+					t.Fatalf("after op %+v: q(%d,%d) = %v, want %v", op, s, x, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestDynamicNoOps: inserting an existing edge or deleting a missing
+// one leaves the index untouched.
+func TestDynamicNoOps(t *testing.T) {
+	g := graph.PaperExample()
+	d := NewDynamic(g)
+	before := d.Snapshot()
+	if err := d.InsertEdge(1, 0); err != nil { // v2 → v1 exists
+		t.Fatal(err)
+	}
+	if err := d.DeleteEdge(0, 1); err != nil { // v1 → v2 does not exist
+		t.Fatal(err)
+	}
+	if !before.Equal(d.Snapshot()) {
+		t.Fatal("no-op updates changed the index")
+	}
+	if d.Graph().NumEdges() != 15 {
+		t.Fatalf("edge count changed: %d", d.Graph().NumEdges())
+	}
+}
+
+func TestDynamicRangeErrors(t *testing.T) {
+	d := NewDynamic(graph.PaperExample())
+	if err := d.InsertEdge(0, 42); err == nil {
+		t.Error("expected range error on insert")
+	}
+	if err := d.DeleteEdge(-1, 0); err == nil {
+		t.Error("expected range error on delete")
+	}
+}
+
+// TestDynamicInsertDeleteRoundTrip: deleting a freshly inserted edge
+// restores the original index exactly.
+func TestDynamicInsertDeleteRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	g := graph.PaperExample()
+	d := NewDynamic(g)
+	before := d.Snapshot()
+	for i := 0; i < 25; i++ {
+		u := graph.VertexID(rng.Intn(11))
+		v := graph.VertexID(rng.Intn(11))
+		if contains(g.OutNeighbors(u), v) {
+			continue
+		}
+		if err := d.InsertEdge(u, v); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.DeleteEdge(u, v); err != nil {
+			t.Fatal(err)
+		}
+		if !before.Equal(d.Snapshot()) {
+			t.Fatalf("insert+delete of (%d,%d) did not round-trip: %s",
+				u, v, before.Diff(d.Snapshot()))
+		}
+	}
+}

@@ -1,0 +1,319 @@
+package reachlab
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/drl"
+	"repro/internal/graph"
+	"repro/internal/label"
+	"repro/internal/netsim"
+	"repro/internal/order"
+	"repro/internal/pregel"
+	"repro/internal/tol"
+)
+
+// Method selects the index-construction algorithm. Every method
+// produces the identical TOL index; they differ only in build cost
+// and in whether they run on the simulated distributed cluster.
+type Method string
+
+// The available construction methods.
+const (
+	// MethodTOL is the serial baseline (Algorithm 1): correct and
+	// simple, but single-threaded by construction.
+	MethodTOL Method = "tol"
+	// MethodDRLBasic is the basic filtering-and-refinement method
+	// DRL⁻ (Theorem 3) on the vertex-centric system. Slow; provided
+	// for completeness and the paper's ablations.
+	MethodDRLBasic Method = "drl-basic"
+	// MethodDRL is the improved method (Algorithm 3) on the
+	// vertex-centric system.
+	MethodDRL Method = "drl"
+	// MethodDRLBatch is DRL_b (Algorithm 4), the paper's best: batch
+	// labeling on the vertex-centric system. The default.
+	MethodDRLBatch Method = "drl-batch"
+	// MethodDRLShared is the shared-memory multi-core DRL_b^M: no
+	// message passing, Workers goroutines over one address space.
+	MethodDRLShared Method = "drl-shared"
+)
+
+// Options configures Build.
+type Options struct {
+	// Method picks the algorithm (default MethodDRLBatch).
+	Method Method
+	// Workers is the number of computation nodes (or goroutines for
+	// MethodDRLShared). Default 4; MethodTOL ignores it.
+	Workers int
+	// BatchSize and BatchFactor are DRL_b's b and k (defaults 2, 2).
+	BatchSize int
+	// BatchFactor is the geometric growth factor k of the batch
+	// sequence; k = 1 means fixed-size batches.
+	BatchFactor float64
+	// NetworkLatency is the simulated per-superstep barrier latency
+	// of the cluster interconnect. Zero disables network simulation;
+	// it never applies to MethodTOL or MethodDRLShared.
+	NetworkLatency time.Duration
+	// Order selects the total-order heuristic: "degree-product"
+	// (default, the paper's choice), "degree-sum", "out-degree",
+	// "id", or "random". Any total order yields a correct index; the
+	// heuristic trades index size and build time.
+	Order string
+	// CondenseSCC builds the index over the SCC condensation instead
+	// of the raw graph and maps queries through the component table.
+	// The paper does not condense (distributed SCC is expensive,
+	// §II-C); this option quantifies the trade-off on centralized
+	// builds.
+	CondenseSCC bool
+}
+
+func (o Options) method() Method {
+	if o.Method == "" {
+		return MethodDRLBatch
+	}
+	return o.Method
+}
+
+func (o Options) workers() int {
+	if o.Workers <= 0 {
+		return 4
+	}
+	return o.Workers
+}
+
+func (o Options) batchParams() drl.BatchParams {
+	bp := drl.DefaultBatchParams()
+	if o.BatchSize > 0 {
+		bp.InitialSize = o.BatchSize
+	}
+	if o.BatchFactor > 0 {
+		bp.Factor = o.BatchFactor
+	}
+	return bp
+}
+
+func (o Options) net() netsim.Model {
+	if o.NetworkLatency <= 0 {
+		return netsim.Zero()
+	}
+	m := netsim.Commodity()
+	m.BarrierLatency = o.NetworkLatency
+	return m
+}
+
+// BuildStats describes the cost of an index construction.
+type BuildStats struct {
+	Method        Method
+	Workers       int
+	WallTime      time.Duration
+	Compute       time.Duration // BSP makespan (distributed methods)
+	Communication time.Duration // measured + simulated exchange time
+	Supersteps    int
+	Messages      int64
+	BytesRemote   int64
+}
+
+// Index is a reachability index over a graph. It is self-contained:
+// queries never touch the graph, so the index can be serialized and
+// served from a single machine regardless of where the graph lives.
+type Index struct {
+	idx   *label.Index
+	comp  []int32 // optional SCC-condensation mapping
+	stats BuildStats
+}
+
+// Build constructs the reachability index for g. The context cancels
+// the build (the construction checks it between parallel rounds).
+func Build(ctx context.Context, g *Graph, opts Options) (*Index, error) {
+	if g == nil {
+		return nil, errors.New("reachlab: nil graph")
+	}
+	gd := g.d
+	var comp []int32
+	if opts.CondenseSCC {
+		gd, comp = graph.Condense(gd)
+	}
+	ord, err := order.ComputeStrategy(gd, order.Strategy(opts.Order))
+	if err != nil {
+		return nil, fmt.Errorf("reachlab: %w", err)
+	}
+	method := opts.method()
+	start := time.Now()
+
+	var cancel <-chan struct{}
+	if ctx != nil {
+		cancel = ctx.Done()
+	}
+
+	var (
+		idx *label.Index
+		met pregel.Metrics
+	)
+	switch method {
+	case MethodTOL:
+		idx, err = tol.BuildCancelable(gd, ord, cancel)
+	case MethodDRLShared:
+		idx, err = drl.BuildBatch(gd, ord, opts.batchParams(), drl.Options{
+			Workers: opts.workers(), Cancel: cancel,
+		})
+	case MethodDRL:
+		idx, met, err = drl.BuildDistributed(gd, ord, drl.DistOptions{
+			Workers: opts.workers(), Net: opts.net(), Cancel: cancel,
+		})
+	case MethodDRLBasic:
+		idx, met, err = drl.BuildDistributedBasic(gd, ord, drl.DistOptions{
+			Workers: opts.workers(), Net: opts.net(), Cancel: cancel,
+		})
+	case MethodDRLBatch:
+		idx, met, err = drl.BuildDistributedBatch(gd, ord, opts.batchParams(), drl.DistOptions{
+			Workers: opts.workers(), Net: opts.net(), Cancel: cancel,
+		})
+	default:
+		return nil, fmt.Errorf("reachlab: unknown method %q", method)
+	}
+	if err != nil {
+		if errors.Is(err, drl.ErrCanceled) || errors.Is(err, pregel.ErrCanceled) || errors.Is(err, tol.ErrCanceled) {
+			if ctx != nil && ctx.Err() != nil {
+				return nil, fmt.Errorf("reachlab: build canceled: %w", ctx.Err())
+			}
+		}
+		return nil, fmt.Errorf("reachlab: building index: %w", err)
+	}
+	return &Index{
+		idx:  idx,
+		comp: comp,
+		stats: BuildStats{
+			Method:        method,
+			Workers:       opts.workers(),
+			WallTime:      time.Since(start),
+			Compute:       met.ComputeTime,
+			Communication: met.TotalComm(),
+			Supersteps:    met.Supersteps,
+			Messages:      met.Messages,
+			BytesRemote:   met.BytesRemote,
+		},
+	}, nil
+}
+
+// Reachable answers q(s, t) from the index alone: true iff there is a
+// path from s to t in the indexed graph.
+func (x *Index) Reachable(s, t VertexID) bool {
+	if x.comp != nil {
+		s, t = VertexID(x.comp[s]), VertexID(x.comp[t])
+		if s == t {
+			return true
+		}
+	}
+	return x.idx.Reachable(s, t)
+}
+
+// NumVertices returns the number of vertices the index covers (the
+// original graph's count for a condensed index).
+func (x *Index) NumVertices() int {
+	if x.comp != nil {
+		return len(x.comp)
+	}
+	return x.idx.NumVertices()
+}
+
+// BuildStats returns the construction cost record.
+func (x *Index) BuildStats() BuildStats { return x.stats }
+
+// IndexStats summarizes the index payload.
+type IndexStats struct {
+	Entries      int64   // total label entries Σ(|L_in|+|L_out|)
+	Bytes        int64   // serialized footprint
+	MaxLabelSize int     // Δ of §II-A
+	AvgLabelSize float64 // mean label size per side
+}
+
+// Stats returns the index payload summary.
+func (x *Index) Stats() IndexStats {
+	return IndexStats{
+		Entries:      x.idx.Entries(),
+		Bytes:        x.idx.SizeBytes(),
+		MaxLabelSize: x.idx.MaxLabelSize(),
+		AvgLabelSize: x.idx.AvgLabelSize(),
+	}
+}
+
+// The serialized form wraps the label payload in a small envelope so
+// condensed indexes can carry their component table.
+const indexEnvelopeMagic = uint64(0x524c49584e564531) // "RLIXNVE1"
+
+// WriteTo serializes the index (see ReadIndex).
+func (x *Index) WriteTo(w io.Writer) (int64, error) {
+	var written int64
+	put := func(data any, size int64) error {
+		if err := binary.Write(w, binary.LittleEndian, data); err != nil {
+			return fmt.Errorf("reachlab: writing index: %w", err)
+		}
+		written += size
+		return nil
+	}
+	if err := put(indexEnvelopeMagic, 8); err != nil {
+		return written, err
+	}
+	var compLen uint64
+	if x.comp != nil {
+		compLen = uint64(len(x.comp))
+	}
+	if err := put(compLen, 8); err != nil {
+		return written, err
+	}
+	if compLen > 0 {
+		if err := put(x.comp, 4*int64(compLen)); err != nil {
+			return written, err
+		}
+	}
+	n, err := x.idx.WriteTo(w)
+	return written + n, err
+}
+
+// ReadIndex deserializes an index written by WriteTo.
+func ReadIndex(r io.Reader) (*Index, error) {
+	var magic, compLen uint64
+	for _, p := range []*uint64{&magic, &compLen} {
+		if err := binary.Read(r, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("reachlab: reading index envelope: %w", err)
+		}
+	}
+	if magic != indexEnvelopeMagic {
+		return nil, errors.New("reachlab: not an index file (bad magic)")
+	}
+	if compLen > 1<<31 {
+		return nil, fmt.Errorf("reachlab: implausible component table size %d", compLen)
+	}
+	var comp []int32
+	if compLen > 0 {
+		// Bounded chunks: corrupt headers fail fast without giant
+		// allocations.
+		const chunk = 1 << 16
+		comp = make([]int32, 0, min(compLen, chunk))
+		for uint64(len(comp)) < compLen {
+			part := make([]int32, min(compLen-uint64(len(comp)), chunk))
+			if err := binary.Read(r, binary.LittleEndian, part); err != nil {
+				return nil, fmt.Errorf("reachlab: reading component table: %w", err)
+			}
+			comp = append(comp, part...)
+		}
+	}
+	idx, err := label.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	x := &Index{idx: idx, comp: comp}
+	if comp != nil {
+		nc := idx.NumVertices()
+		for _, c := range comp {
+			if c < 0 || int(c) >= nc {
+				return nil, errors.New("reachlab: corrupt component table")
+			}
+		}
+	}
+	return x, nil
+}

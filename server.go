@@ -1,0 +1,91 @@
+package reachlab
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// QueryHandler serves reachability queries from an index over HTTP —
+// the paper's deployment: the distributed graph stays put, the
+// compact index answers queries from one machine (§I). cmd/drserve
+// wraps it into a standalone server.
+//
+// Endpoints:
+//
+//	GET /reach?s=<id>&t=<id>   → {"s":3,"t":17,"reachable":true}
+//	GET /stats                 → index statistics
+//	GET /healthz               → 200 ok
+type QueryHandler struct {
+	idx *Index
+	mux *http.ServeMux
+}
+
+// NewQueryHandler returns an http.Handler serving queries from idx.
+func NewQueryHandler(idx *Index) *QueryHandler {
+	h := &QueryHandler{idx: idx, mux: http.NewServeMux()}
+	h.mux.HandleFunc("GET /reach", h.reach)
+	h.mux.HandleFunc("GET /stats", h.stats)
+	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *QueryHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+func (h *QueryHandler) vertex(r *http.Request, name string) (VertexID, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing query parameter %q", name)
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("bad vertex %q: %v", raw, err)
+	}
+	if v < 0 || v >= h.idx.NumVertices() {
+		return 0, fmt.Errorf("vertex %d out of range [0, %d)", v, h.idx.NumVertices())
+	}
+	return VertexID(v), nil
+}
+
+func (h *QueryHandler) reach(w http.ResponseWriter, r *http.Request) {
+	s, err := h.vertex(r, "s")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	t, err := h.vertex(r, "t")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"s":         s,
+		"t":         t,
+		"reachable": h.idx.Reachable(s, t),
+	})
+}
+
+func (h *QueryHandler) stats(w http.ResponseWriter, _ *http.Request) {
+	st := h.idx.Stats()
+	writeJSON(w, map[string]any{
+		"vertices":       h.idx.NumVertices(),
+		"entries":        st.Entries,
+		"bytes":          st.Bytes,
+		"max_label_size": st.MaxLabelSize,
+		"avg_label_size": st.AvgLabelSize,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,108 @@
+package reachlab
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func testIndex(t *testing.T) *Index {
+	t.Helper()
+	g := NewGraph(11, testEdges())
+	idx, err := Build(context.Background(), g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+func TestQueryHandlerReach(t *testing.T) {
+	srv := httptest.NewServer(NewQueryHandler(testIndex(t)))
+	defer srv.Close()
+
+	cases := []struct {
+		s, t int
+		want bool
+	}{
+		{1, 6, true},
+		{9, 0, false},
+		{7, 8, true},
+	}
+	for _, c := range cases {
+		resp, err := http.Get(srv.URL + "/reach?s=" + itoa(c.s) + "&t=" + itoa(c.t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body struct {
+			Reachable bool `json:"reachable"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if body.Reachable != c.want {
+			t.Errorf("reach(%d,%d) = %v, want %v", c.s, c.t, body.Reachable, c.want)
+		}
+	}
+}
+
+func TestQueryHandlerErrors(t *testing.T) {
+	srv := httptest.NewServer(NewQueryHandler(testIndex(t)))
+	defer srv.Close()
+	for _, url := range []string{
+		"/reach",           // missing params
+		"/reach?s=1",       // missing t
+		"/reach?s=abc&t=2", // non-numeric
+		"/reach?s=99&t=2",  // out of range
+		"/reach?s=-1&t=2",  // negative
+	} {
+		resp, err := http.Get(srv.URL + url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", url, resp.StatusCode)
+		}
+	}
+}
+
+func TestQueryHandlerStatsAndHealth(t *testing.T) {
+	srv := httptest.NewServer(NewQueryHandler(testIndex(t)))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Vertices int   `json:"vertices"`
+		Entries  int64 `json:"entries"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Vertices != 11 || stats.Entries == 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz status %d", resp.StatusCode)
+	}
+}
+
+func itoa(v int) string {
+	if v < 0 {
+		return "-" + itoa(-v)
+	}
+	if v < 10 {
+		return string(rune('0' + v))
+	}
+	return itoa(v/10) + string(rune('0'+v%10))
+}
