@@ -1,8 +1,15 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet bench tools examples experiments clean
+.PHONY: all build test vet check bench tools examples experiments clean
 
 all: build vet test
+
+# What CI runs: vet, build, and the full test suite under the race
+# detector (the RPC fault-handling tests are concurrency-heavy).
+check:
+	go vet ./...
+	go build ./...
+	go test -race ./...
 
 build:
 	go build ./...

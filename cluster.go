@@ -18,6 +18,15 @@ type indexAlias = label.Index
 // wrap these entry points; examples/distributed drives them
 // in-process.
 
+// ClusterOptions tunes the fault handling of cluster builds: per-call
+// deadlines and retry bounds, and how often worker state is
+// checkpointed for crash recovery. The zero value uses the defaults.
+type ClusterOptions = drl.ClusterOptions
+
+// RetryPolicy bounds per-call deadlines and retries for cluster
+// builds (see ClusterOptions.Retry).
+type RetryPolicy = pregel.RetryPolicy
+
 // ServeWorker hosts one labeling cluster worker on addr (use
 // "host:0" for an ephemeral port). The bound address is sent on ready
 // if non-nil; the call then blocks serving requests.
@@ -26,10 +35,17 @@ func ServeWorker(addr string, ready chan<- string) error {
 }
 
 // BuildOverCluster constructs the index on a cluster of running
-// workers. graphPath must be readable by the master and every worker
-// (the paper's shared-storage deployment). Only MethodDRL and
-// MethodDRLBatch run over the cluster transport.
+// workers with default fault handling. graphPath must be readable by
+// the master and every worker (the paper's shared-storage
+// deployment). Only MethodDRL and MethodDRLBatch run over the cluster
+// transport.
 func BuildOverCluster(addrs []string, graphPath string, opts Options) (*Index, error) {
+	return BuildOverClusterOpts(addrs, graphPath, opts, ClusterOptions{})
+}
+
+// BuildOverClusterOpts is BuildOverCluster with explicit
+// fault-handling configuration.
+func BuildOverClusterOpts(addrs []string, graphPath string, opts Options, copt ClusterOptions) (*Index, error) {
 	start := time.Now()
 	var (
 		idx *indexAlias
@@ -38,9 +54,9 @@ func BuildOverCluster(addrs []string, graphPath string, opts Options) (*Index, e
 	)
 	switch m := opts.method(); m {
 	case MethodDRL:
-		idx, met, err = drl.BuildOverRPC(addrs, graphPath)
+		idx, met, err = drl.BuildOverRPCOpts(addrs, graphPath, copt)
 	case MethodDRLBatch:
-		idx, met, err = drl.BuildBatchOverRPC(addrs, graphPath, opts.batchParams())
+		idx, met, err = drl.BuildBatchOverRPCOpts(addrs, graphPath, opts.batchParams(), copt)
 	default:
 		return nil, fmt.Errorf("reachlab: method %q does not support cluster deployment (use %q or %q)",
 			m, MethodDRL, MethodDRLBatch)
@@ -59,6 +75,11 @@ func BuildOverCluster(addrs []string, graphPath string, opts Options) (*Index, e
 			Supersteps:    met.Supersteps,
 			Messages:      met.Messages,
 			BytesRemote:   met.BytesRemote,
+
+			Retries:            met.Retries,
+			Recoveries:         met.Recoveries,
+			Checkpoints:        met.Checkpoints,
+			LastCheckpointStep: met.LastCheckpointStep,
 		},
 	}, nil
 }

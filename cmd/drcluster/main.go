@@ -11,15 +11,26 @@
 // drcluster binary):
 //
 //	drcluster -i graph.bin -o graph.idx -spawn 4
+//
+// Fault handling is tunable: -timeout, -retries, and -backoff bound
+// the per-call retry policy, and -checkpoint k snapshots worker state
+// every k supersteps so a crashed worker can be re-dialed and resumed
+// from the last barrier. In spawn mode a dead worker process is
+// respawned on the same port automatically; -flaky N makes the first
+// spawned worker kill itself after N supersteps to demonstrate the
+// recovery path end to end.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/drl"
@@ -37,21 +48,40 @@ func main() {
 		method  = flag.String("method", "drl-batch", "drl or drl-batch")
 		b       = flag.Int("b", 2, "DRL_b initial batch size")
 		k       = flag.Float64("k", 2, "DRL_b batch increment factor")
+
+		timeout = flag.Duration("timeout", 0, "per-call deadline (0 = default 30s, negative = none)")
+		retries = flag.Int("retries", 0, "attempts per call (0 = default 4, negative = single attempt)")
+		backoff = flag.Duration("backoff", 0, "base retry backoff (0 = default 50ms)")
+		ckpt    = flag.Int("checkpoint", 0, "checkpoint worker state every k supersteps (0 = run boundaries only)")
+		flaky   = flag.Int("flaky", 0, "spawn mode: first worker crashes after N supersteps (fault demo)")
 	)
 	flag.Parse()
 	if *in == "" || *out == "" {
 		fatal(fmt.Errorf("both -i and -o are required"))
 	}
 
+	copt := drl.ClusterOptions{
+		Retry: pregel.RetryPolicy{
+			CallTimeout: *timeout,
+			MaxAttempts: *retries,
+			BaseBackoff: *backoff,
+		},
+		CheckpointEvery: *ckpt,
+	}
+
 	var addrs []string
 	if *spawn > 0 {
-		var cleanup func()
-		var err error
-		addrs, cleanup, err = spawnWorkers(*spawn)
+		sp, err := newSpawner()
 		if err != nil {
 			fatal(err)
 		}
-		defer cleanup()
+		defer sp.cleanup()
+		addrs, err = sp.start(*spawn, *flaky)
+		if err != nil {
+			fatal(err)
+		}
+		// Re-dials after a worker crash respawn the process first.
+		copt.Dial = sp.dial
 	} else if *workers != "" {
 		addrs = strings.Split(*workers, ",")
 	} else {
@@ -66,9 +96,9 @@ func main() {
 	start := time.Now()
 	switch *method {
 	case "drl":
-		idx, met, err = drl.BuildOverRPC(addrs, *in)
+		idx, met, err = drl.BuildOverRPCOpts(addrs, *in, copt)
 	case "drl-batch":
-		idx, met, err = drl.BuildBatchOverRPC(addrs, *in, drl.BatchParams{InitialSize: *b, Factor: *k})
+		idx, met, err = drl.BuildBatchOverRPCOpts(addrs, *in, drl.BatchParams{InitialSize: *b, Factor: *k}, copt)
 	default:
 		err = fmt.Errorf("unknown method %q (want drl or drl-batch)", *method)
 	}
@@ -78,6 +108,11 @@ func main() {
 	fmt.Printf("built over %d workers in %v (%d supersteps, %.2f MB remote traffic)\n",
 		len(addrs), time.Since(start).Round(time.Millisecond),
 		met.Supersteps, float64(met.BytesRemote)/(1<<20))
+	if met.Retries > 0 || met.Recoveries > 0 || met.Checkpoints > 0 {
+		fmt.Printf("fault handling: %d retried calls, %d recoveries, %d checkpoints (%.2f MB, last at superstep %d)\n",
+			met.Retries, met.Recoveries, met.Checkpoints,
+			float64(met.CheckpointBytes)/(1<<20), met.LastCheckpointStep)
+	}
 
 	f, err := os.Create(*out)
 	if err != nil {
@@ -93,54 +128,99 @@ func main() {
 	_ = graph.VertexID(0)
 }
 
-// spawnWorkers launches local drworker processes on ephemeral ports
-// and parses the bound addresses from their stdout.
-func spawnWorkers(n int) ([]string, func(), error) {
+// spawner manages local drworker processes: the initial fleet, plus
+// respawns on the same port when the master re-dials a dead worker.
+type spawner struct {
+	bin string
+
+	mu    sync.Mutex
+	procs []*exec.Cmd
+}
+
+func newSpawner() (*spawner, error) {
 	bin, err := exec.LookPath("drworker")
 	if err != nil {
 		// Try next to this binary.
 		self, serr := os.Executable()
 		if serr != nil {
-			return nil, nil, fmt.Errorf("drworker not found: %w", err)
+			return nil, fmt.Errorf("drworker not found: %w", err)
 		}
 		bin = filepath.Join(filepath.Dir(self), "drworker")
 		if _, serr := os.Stat(bin); serr != nil {
-			return nil, nil, fmt.Errorf("drworker not found on $PATH or next to drcluster: %w", err)
+			return nil, fmt.Errorf("drworker not found on $PATH or next to drcluster: %w", err)
 		}
 	}
-	var procs []*exec.Cmd
-	cleanup := func() {
-		for _, c := range procs {
-			if c.Process != nil {
-				c.Process.Kill()
-			}
-		}
-		for _, c := range procs {
-			c.Wait()
-		}
-	}
+	return &spawner{bin: bin}, nil
+}
+
+// start launches n workers on ephemeral ports. If flaky > 0, the
+// first worker gets -crash-after so it dies mid-run.
+func (s *spawner) start(n, flaky int) ([]string, error) {
 	var addrs []string
 	for i := 0; i < n; i++ {
-		cmd := exec.Command(bin, "-listen", "127.0.0.1:0")
-		stdout, err := cmd.StdoutPipe()
+		args := []string{"-listen", "127.0.0.1:0"}
+		if i == 0 && flaky > 0 {
+			args = append(args, "-crash-after", strconv.Itoa(flaky))
+		}
+		addr, err := s.launch(args)
 		if err != nil {
-			cleanup()
-			return nil, nil, err
-		}
-		cmd.Stderr = os.Stderr
-		if err := cmd.Start(); err != nil {
-			cleanup()
-			return nil, nil, err
-		}
-		procs = append(procs, cmd)
-		var addr string
-		if _, err := fmt.Fscanf(stdout, "drworker listening on %s\n", &addr); err != nil {
-			cleanup()
-			return nil, nil, fmt.Errorf("reading worker %d address: %w", i, err)
+			s.cleanup()
+			return nil, fmt.Errorf("spawning worker %d: %w", i, err)
 		}
 		addrs = append(addrs, addr)
 	}
-	return addrs, cleanup, nil
+	return addrs, nil
+}
+
+// launch starts one drworker and parses its bound address.
+func (s *spawner) launch(args []string) (string, error) {
+	cmd := exec.Command(s.bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return "", err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.procs = append(s.procs, cmd)
+	s.mu.Unlock()
+	var addr string
+	if _, err := fmt.Fscanf(stdout, "drworker listening on %s\n", &addr); err != nil {
+		return "", fmt.Errorf("reading worker address: %w", err)
+	}
+	return addr, nil
+}
+
+// dial is the master's Dialer in spawn mode: if the address no longer
+// answers (the process died), respawn a worker bound to the same port
+// and dial again — the master then re-Inits and restores it from the
+// last checkpoint.
+func (s *spawner) dial(addr string) (pregel.Transport, error) {
+	t, err := pregel.DialRPC(addr)
+	if err == nil {
+		return t, nil
+	}
+	if _, rerr := s.launch([]string{"-listen", addr}); rerr != nil {
+		return nil, errors.Join(err, fmt.Errorf("respawning worker at %s: %w", addr, rerr))
+	}
+	return pregel.DialRPC(addr)
+}
+
+func (s *spawner) cleanup() {
+	s.mu.Lock()
+	procs := s.procs
+	s.procs = nil
+	s.mu.Unlock()
+	for _, c := range procs {
+		if c.Process != nil {
+			c.Process.Kill()
+		}
+	}
+	for _, c := range procs {
+		c.Wait()
+	}
 }
 
 func fatal(err error) {

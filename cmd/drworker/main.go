@@ -10,6 +10,10 @@
 // The worker loads the graph itself when the master initializes the
 // job, so the graph file must be readable at the same path on every
 // node (shared storage, as in the paper's cluster).
+//
+// For fault-tolerance experiments, -crash-after N kills the process
+// after N executed supersteps; the master re-dials the address and
+// restores the replacement from the last checkpoint.
 package main
 
 import (
@@ -24,11 +28,23 @@ import (
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "address to listen on")
+	crashAfter := flag.Int("crash-after", 0, "exit abruptly after N executed supersteps (fault injection; 0 = never)")
 	flag.Parse()
+
+	var opts pregel.WorkerOptions
+	if *crashAfter > 0 {
+		n := *crashAfter
+		opts.StepHook = func(completed int) {
+			if completed >= n {
+				fmt.Fprintf(os.Stderr, "drworker: injected crash after %d supersteps\n", completed)
+				os.Exit(3)
+			}
+		}
+	}
 
 	ready := make(chan string, 1)
 	errc := make(chan error, 1)
-	go func() { errc <- pregel.ServeWorker(*listen, ready) }()
+	go func() { errc <- pregel.ServeWorkerOpts(*listen, ready, opts) }()
 	select {
 	case addr := <-ready:
 		fmt.Printf("drworker listening on %s\n", addr)

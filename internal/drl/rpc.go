@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/label"
+	"repro/internal/netsim"
 	"repro/internal/order"
 	"repro/internal/pregel"
 )
@@ -149,16 +150,46 @@ func decodeResults(blobs [][]byte, n int) (in, out [][]order.Rank, err error) {
 	return in, out, nil
 }
 
+// ClusterOptions tunes the fault handling of the RPC builders. The
+// zero value uses pregel's defaults: per-call deadlines with bounded
+// exponential-backoff retries, checkpoints at run boundaries only.
+type ClusterOptions struct {
+	// Retry bounds per-call deadlines and retries.
+	Retry pregel.RetryPolicy
+	// CheckpointEvery additionally snapshots worker state every k
+	// supersteps (0 = run-boundary checkpoints only).
+	CheckpointEvery int
+	// Dial overrides the transport dialer (tests inject faults here).
+	Dial pregel.Dialer
+	// Net charges simulated wire time for checkpoint traffic.
+	Net netsim.Model
+}
+
+func (o ClusterOptions) masterConfig() pregel.MasterConfig {
+	return pregel.MasterConfig{
+		Retry:           o.Retry,
+		CheckpointEvery: o.CheckpointEvery,
+		Dial:            o.Dial,
+		Net:             o.Net,
+	}
+}
+
 // BuildOverRPC runs DRL (Algorithm 3) on a cluster of worker
 // processes reachable at addrs; graphPath must be readable by every
 // worker and the master.
 func BuildOverRPC(addrs []string, graphPath string) (*label.Index, pregel.Metrics, error) {
+	return BuildOverRPCOpts(addrs, graphPath, ClusterOptions{})
+}
+
+// BuildOverRPCOpts is BuildOverRPC with explicit fault-handling
+// options.
+func BuildOverRPCOpts(addrs []string, graphPath string, copt ClusterOptions) (*label.Index, pregel.Metrics, error) {
 	g, err := graph.LoadFile(graphPath)
 	if err != nil {
 		return nil, pregel.Metrics{}, err
 	}
 	ord := order.Compute(g)
-	m, err := pregel.DialCluster(addrs, graphPath)
+	m, err := pregel.DialClusterOpts(addrs, graphPath, copt.masterConfig())
 	if err != nil {
 		return nil, pregel.Metrics{}, err
 	}
@@ -180,6 +211,12 @@ func BuildOverRPC(addrs []string, graphPath string) (*label.Index, pregel.Metric
 // BuildBatchOverRPC runs DRL_b (Algorithm 4) on a cluster of worker
 // processes: one coordinated run per batch, then a final gather.
 func BuildBatchOverRPC(addrs []string, graphPath string, bp BatchParams) (*label.Index, pregel.Metrics, error) {
+	return BuildBatchOverRPCOpts(addrs, graphPath, bp, ClusterOptions{})
+}
+
+// BuildBatchOverRPCOpts is BuildBatchOverRPC with explicit
+// fault-handling options.
+func BuildBatchOverRPCOpts(addrs []string, graphPath string, bp BatchParams, copt ClusterOptions) (*label.Index, pregel.Metrics, error) {
 	g, err := graph.LoadFile(graphPath)
 	if err != nil {
 		return nil, pregel.Metrics{}, err
@@ -189,7 +226,7 @@ func BuildBatchOverRPC(addrs []string, graphPath string, bp BatchParams) (*label
 	if err != nil {
 		return nil, pregel.Metrics{}, err
 	}
-	m, err := pregel.DialCluster(addrs, graphPath)
+	m, err := pregel.DialClusterOpts(addrs, graphPath, copt.masterConfig())
 	if err != nil {
 		return nil, pregel.Metrics{}, err
 	}

@@ -1,0 +1,99 @@
+package pregel
+
+import "errors"
+
+// Superstep checkpointing. The BSP barrier is the natural consistency
+// point: at a barrier every outbox has been drained into the master's
+// routing state and every inbox has been consumed, so a worker's
+// recoverable state is exactly its program state (Worker.State plus
+// the program's replicated shared state). The master snapshots that
+// state at run boundaries and every CheckpointEvery supersteps, and
+// keeps the blobs plus its own routing state (pending packets and
+// broadcasts) in memory. On a worker failure it re-dials, re-Inits,
+// re-BeginRuns the replacement, restores every worker from the last
+// checkpoint, and rewinds the superstep loop to the checkpoint
+// barrier — delivery is replayed identically, so the index the job
+// produces is bit-for-bit the one an undisturbed run produces.
+
+// Snapshotter is an optional Program extension that enables superstep
+// checkpointing over the RPC transport. Programs that do not
+// implement it still get per-call retries, but a crashed worker
+// aborts the run.
+type Snapshotter interface {
+	// EncodeState serializes every piece of recoverable state: the
+	// persistent section first (state that survives engine runs, e.g.
+	// accumulated batch labels), then the per-run section (visit
+	// status, replicated broadcast state).
+	EncodeState(w *Worker) ([]byte, error)
+	// DecodeState rebuilds state from an EncodeState blob, replacing —
+	// not merging with — whatever the program currently holds. When
+	// sameRun is false the blob was taken at a previous run's boundary
+	// and only the persistent section must be applied; the per-run
+	// section is dead and the fresh run's state must stay empty.
+	DecodeState(w *Worker, blob []byte, sameRun bool) error
+}
+
+// CheckpointReply carries one worker's state snapshot. Supported is
+// false when the running program does not implement Snapshotter; the
+// master then disables checkpointing for the job instead of failing.
+type CheckpointReply struct {
+	Supported bool
+	Blob      []byte
+}
+
+// RestoreArgs rewinds a worker to a checkpointed barrier. Step is the
+// next superstep the master will issue (so the worker's dedup cursor
+// becomes Step-1); SameRun distinguishes an in-run rollback from a
+// run-boundary restore onto a fresh program; Finished restores the
+// post-FinishRun state used when recovering during Collect.
+type RestoreArgs struct {
+	Blob     []byte
+	Step     int
+	SameRun  bool
+	Finished bool
+}
+
+// Checkpoint encodes the worker's recoverable state at the current
+// barrier. Read-only, hence naturally idempotent under retry.
+func (s *WorkerServer) Checkpoint(_ struct{}, reply *CheckpointReply) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.prog == nil {
+		return errors.New("pregel: Checkpoint before BeginRun")
+	}
+	snap, ok := s.prog.(Snapshotter)
+	if !ok {
+		reply.Supported = false
+		return nil
+	}
+	blob, err := snap.EncodeState(s.w)
+	if err != nil {
+		return err
+	}
+	reply.Supported = true
+	reply.Blob = blob
+	return nil
+}
+
+// Restore rewinds the worker to a checkpointed barrier. Idempotent:
+// it installs absolute state, so a retried Restore lands in the same
+// place.
+func (s *WorkerServer) Restore(args RestoreArgs, _ *struct{}) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.prog == nil {
+		return errors.New("pregel: Restore before BeginRun")
+	}
+	snap, ok := s.prog.(Snapshotter)
+	if !ok {
+		return errors.New("pregel: program does not support checkpointing")
+	}
+	if err := snap.DecodeState(s.w, args.Blob, args.SameRun); err != nil {
+		return err
+	}
+	s.lastStep = args.Step - 1
+	s.haveReply = false
+	s.lastReply = StepReply{}
+	s.finished = args.Finished
+	return nil
+}

@@ -1,0 +1,414 @@
+package pregel
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Failure-path coverage for the RPC transport: injected drops,
+// timeouts, dead workers, retry exhaustion, and connection cleanup.
+
+func init() {
+	RegisterRPC("test-slow", RPCFactory{
+		New: func(params map[string]string, w *Worker) (Program, error) {
+			return &slowProgram{}, nil
+		},
+		Collect: func(w *Worker) ([]byte, error) { return []byte{byte(w.ID)}, nil },
+	})
+}
+
+// slowProgram stalls its first superstep long past the per-call
+// deadline, exercising timeout + retry + worker-side deduplication.
+type slowProgram struct{}
+
+func (p *slowProgram) Superstep(w *Worker, step int) (bool, error) {
+	if step == 0 {
+		time.Sleep(150 * time.Millisecond)
+	}
+	return false, nil
+}
+func (p *slowProgram) Finish(w *Worker) error { return nil }
+
+func startWorkerOpts(t *testing.T, opts WorkerOptions) string {
+	t.Helper()
+	ready := make(chan string, 1)
+	go func() {
+		if err := ServeWorkerOpts("127.0.0.1:0", ready, opts); err != nil {
+			t.Log(err)
+		}
+	}()
+	return <-ready
+}
+
+// stubTransport wraps a real connection and simulates the worker's
+// process dying right after a chosen method returns: every later call
+// fails at the transport layer.
+type stubTransport struct {
+	inner    Transport
+	dieAfter string // method suffix after which the connection "dies"
+	closeErr error
+
+	mu     sync.Mutex
+	dead   bool
+	closed bool
+}
+
+func (s *stubTransport) Call(method string, args, reply any) error {
+	s.mu.Lock()
+	if s.dead {
+		s.mu.Unlock()
+		return fmt.Errorf("stub: connection reset by peer")
+	}
+	s.mu.Unlock()
+	err := s.inner.Call(method, args, reply)
+	if s.dieAfter != "" && strings.HasSuffix(method, "."+s.dieAfter) {
+		s.mu.Lock()
+		s.dead = true
+		s.mu.Unlock()
+	}
+	return err
+}
+
+func (s *stubTransport) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	if s.inner != nil {
+		s.inner.Close()
+	}
+	return s.closeErr
+}
+
+func (s *stubTransport) wasClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// fastRetry keeps test retries snappy and deterministic.
+func fastRetry() RetryPolicy {
+	return RetryPolicy{
+		CallTimeout: 2 * time.Second,
+		MaxAttempts: 8,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  5 * time.Millisecond,
+	}
+}
+
+// countingInner counts calls without any real connection.
+type countingInner struct{ calls int }
+
+func (c *countingInner) Call(method string, args, reply any) error {
+	c.calls++
+	return nil
+}
+func (c *countingInner) Close() error { return nil }
+
+func TestFaultTransportDeterministic(t *testing.T) {
+	plan := FaultPlan{Seed: 7, DropProb: 0.3, LostReplyProb: 0.2, CrashAtCall: 40}
+	outcomes := func() []string {
+		ft := NewFaultTransport(&countingInner{}, plan)
+		var out []string
+		for i := 0; i < 50; i++ {
+			err := ft.Call("Svc.M", struct{}{}, &struct{}{})
+			switch {
+			case err == nil:
+				out = append(out, "ok")
+			case errors.Is(err, ErrInjectedCrash):
+				out = append(out, "crash")
+			case errors.Is(err, ErrInjectedDrop):
+				out = append(out, "drop")
+			default:
+				out = append(out, "other")
+			}
+		}
+		return out
+	}
+	a, b := outcomes(), outcomes()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule diverged at call %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+	if !strings.Contains(strings.Join(a, ","), "drop") {
+		t.Error("expected at least one injected drop")
+	}
+	if a[len(a)-1] != "crash" {
+		t.Errorf("calls past the crash point should fail, got %s", a[len(a)-1])
+	}
+	ft := NewFaultTransport(&countingInner{}, plan)
+	for i := 0; i < 45; i++ {
+		ft.Call("Svc.M", struct{}{}, &struct{}{})
+	}
+	if !ft.Crashed() {
+		t.Error("transport should report crashed")
+	}
+	if st := ft.Stats(); st.Crashes != 1 || st.Drops == 0 {
+		t.Errorf("unexpected fault stats: %+v", st)
+	}
+}
+
+// TestMasterRetriesTransientDrops runs a full job through transports
+// that drop a third of all calls; the retry layer must absorb every
+// one of them.
+func TestMasterRetriesTransientDrops(t *testing.T) {
+	addrs := []string{startWorker(t), startWorker(t)}
+	seed := int64(0)
+	dial := func(addr string) (Transport, error) {
+		inner, err := DialRPC(addr)
+		if err != nil {
+			return nil, err
+		}
+		seed++
+		return NewFaultTransport(inner, FaultPlan{Seed: seed, DropProb: 0.3}), nil
+	}
+	m, err := DialClusterOpts(addrs, graphFile(t), MasterConfig{Retry: fastRetry(), Dial: dial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.Run("test-noop", nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	blobs, err := m.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blobs) != 2 || blobs[0][0] != 0 || blobs[1][0] != 1 {
+		t.Errorf("collect blobs wrong: %v", blobs)
+	}
+	if m.Metrics.Retries == 0 {
+		t.Error("expected retried calls with a 30%% drop rate")
+	}
+}
+
+// TestMasterStepTimeout times out a superstep that outlives the
+// per-call deadline; the retried Step must hit the worker's dedup
+// cache instead of recomputing, and the run must still succeed.
+func TestMasterStepTimeout(t *testing.T) {
+	var executed atomic.Int64
+	addr := startWorkerOpts(t, WorkerOptions{
+		StepHook: func(int) { executed.Add(1) },
+	})
+	pol := fastRetry()
+	pol.CallTimeout = 40 * time.Millisecond
+	pol.MaxAttempts = 12
+	pol.BaseBackoff = 10 * time.Millisecond
+	pol.MaxBackoff = 20 * time.Millisecond
+	m, err := DialClusterOpts([]string{addr}, graphFile(t), MasterConfig{Retry: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.Run("test-slow", nil, 0); err != nil {
+		t.Fatalf("run with a slow first superstep: %v", err)
+	}
+	if m.Metrics.Retries == 0 {
+		t.Error("expected timeout-driven retries")
+	}
+	if n := executed.Load(); n != 1 {
+		t.Errorf("superstep executed %d times on the worker, dedup should keep it at 1", n)
+	}
+}
+
+// TestMasterRetryExhaustion kills a worker right after BeginRun; with
+// recovery disabled the master must surface a wrapped
+// retries-exhausted error naming the worker.
+func TestMasterRetryExhaustion(t *testing.T) {
+	addrs := []string{startWorker(t)}
+	dial := func(addr string) (Transport, error) {
+		inner, err := DialRPC(addr)
+		if err != nil {
+			return nil, err
+		}
+		return &stubTransport{inner: inner, dieAfter: "BeginRun"}, nil
+	}
+	pol := fastRetry()
+	pol.MaxAttempts = 3
+	pol.MaxRecoveries = -1 // disable recovery: surface the raw failure
+	m, err := DialClusterOpts(addrs, graphFile(t), MasterConfig{Retry: pol, Dial: dial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	err = m.Run("test-noop", nil, 0)
+	if err == nil {
+		t.Fatal("run against a dead worker should fail")
+	}
+	if !errors.Is(err, ErrRetriesExhausted) {
+		t.Errorf("want ErrRetriesExhausted in chain, got: %v", err)
+	}
+	if !strings.Contains(err.Error(), "worker") {
+		t.Errorf("error should name the failed worker: %v", err)
+	}
+}
+
+// TestMasterNoSnapshotterNoRecovery: a crashed worker running a
+// program without Snapshotter support cannot be recovered — the
+// master must say so rather than loop.
+func TestMasterNoSnapshotterNoRecovery(t *testing.T) {
+	addrs := []string{startWorker(t)}
+	dial := func(addr string) (Transport, error) {
+		inner, err := DialRPC(addr)
+		if err != nil {
+			return nil, err
+		}
+		// Die after the step-0 Checkpoint: the master has learned the
+		// program cannot snapshot, then loses the worker.
+		return &stubTransport{inner: inner, dieAfter: "Checkpoint"}, nil
+	}
+	pol := fastRetry()
+	pol.MaxAttempts = 2
+	m, err := DialClusterOpts(addrs, graphFile(t), MasterConfig{Retry: pol, Dial: dial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	err = m.Run("test-noop", nil, 0)
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	if !errors.Is(err, ErrNoRecovery) {
+		t.Errorf("want ErrNoRecovery (noop program has no Snapshotter), got: %v", err)
+	}
+}
+
+// TestMasterCloseErrors: Close must report per-connection close
+// failures instead of swallowing them.
+func TestMasterCloseErrors(t *testing.T) {
+	sentinel := errors.New("close exploded")
+	addrs := []string{startWorker(t)}
+	dial := func(addr string) (Transport, error) {
+		inner, err := DialRPC(addr)
+		if err != nil {
+			return nil, err
+		}
+		return &stubTransport{inner: inner, closeErr: sentinel}, nil
+	}
+	m, err := DialClusterOpts(addrs, graphFile(t), MasterConfig{Dial: dial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); !errors.Is(err, sentinel) {
+		t.Errorf("Close should surface the transport error, got %v", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Errorf("second Close should be a no-op, got %v", err)
+	}
+}
+
+// TestDialClusterClosesOnFailure: when a later dial (or Init) fails,
+// every already-opened connection must be closed.
+func TestDialClusterClosesOnFailure(t *testing.T) {
+	good := startWorker(t)
+	var opened []*stubTransport
+	dial := func(addr string) (Transport, error) {
+		if addr == "bad" {
+			return nil, errors.New("no route to host")
+		}
+		inner, err := DialRPC(addr)
+		if err != nil {
+			return nil, err
+		}
+		st := &stubTransport{inner: inner}
+		opened = append(opened, st)
+		return st, nil
+	}
+	if _, err := DialClusterOpts([]string{good, "bad"}, graphFile(t), MasterConfig{Dial: dial}); err == nil {
+		t.Fatal("dialing a bad address should fail")
+	}
+	if len(opened) != 1 || !opened[0].wasClosed() {
+		t.Errorf("already-dialed connection leaked (opened=%d)", len(opened))
+	}
+
+	// Same contract when Init fails after all dials succeeded.
+	opened = nil
+	addrs := []string{startWorker(t), startWorker(t)}
+	pol := fastRetry()
+	pol.MaxAttempts = 1
+	if _, err := DialClusterOpts(addrs, "/nonexistent-graph", MasterConfig{Retry: pol, Dial: dial}); err == nil {
+		t.Fatal("Init with a bad graph path should fail")
+	}
+	for i, st := range opened {
+		if !st.wasClosed() {
+			t.Errorf("connection %d leaked after Init failure", i)
+		}
+	}
+}
+
+// TestWorkerStepDedupAndOutOfSync drives the worker protocol raw:
+// a duplicate Step must replay the cached reply, a skipped step must
+// fail with the out-of-sync sentinel, and BeginRun/FinishRun must be
+// idempotent per run.
+func TestWorkerStepDedupAndOutOfSync(t *testing.T) {
+	addr := startWorker(t)
+	c, err := DialRPC(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	mustCall := func(method string, args any, reply any) {
+		t.Helper()
+		if err := c.Call(RPCServiceName+"."+method, args, reply); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustCall("Init", InitArgs{WorkerID: 0, NumWorkers: 1, GraphPath: graphFile(t)}, &struct{}{})
+	mustCall("BeginRun", BeginRunArgs{RunID: 1, Program: "test-noop"}, &struct{}{})
+	var r1, r2 StepReply
+	mustCall("Step", StepArgs{Step: 0}, &r1)
+	mustCall("Step", StepArgs{Step: 0}, &r2) // duplicate: cached replay
+	if r1.Active != r2.Active || r1.ComputeNanos != r2.ComputeNanos {
+		t.Errorf("duplicate step reply differs: %+v vs %+v", r1, r2)
+	}
+	var r3 StepReply
+	err = c.Call(RPCServiceName+".Step", StepArgs{Step: 5}, &r3)
+	if err == nil || !isOutOfSync(err) {
+		t.Errorf("skipped step should be out-of-sync, got %v", err)
+	}
+	// Duplicate BeginRun for the same run is a no-op (dedup cursor intact).
+	mustCall("BeginRun", BeginRunArgs{RunID: 1, Program: "test-noop"}, &struct{}{})
+	var r4 StepReply
+	mustCall("Step", StepArgs{Step: 1}, &r4)
+	// FinishRun twice: idempotent.
+	mustCall("FinishRun", struct{}{}, &struct{}{})
+	mustCall("FinishRun", struct{}{}, &struct{}{})
+}
+
+// TestCheckpointProtocolErrors covers the checkpoint RPCs' ordering
+// and capability errors.
+func TestCheckpointProtocolErrors(t *testing.T) {
+	addr := startWorker(t)
+	c, err := DialRPC(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var cr CheckpointReply
+	if err := c.Call(RPCServiceName+".Checkpoint", struct{}{}, &cr); err == nil {
+		t.Error("Checkpoint before BeginRun should fail")
+	}
+	if err := c.Call(RPCServiceName+".Restore", RestoreArgs{}, &struct{}{}); err == nil {
+		t.Error("Restore before BeginRun should fail")
+	}
+	if err := c.Call(RPCServiceName+".Init", InitArgs{WorkerID: 0, NumWorkers: 1, GraphPath: graphFile(t)}, &struct{}{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Call(RPCServiceName+".BeginRun", BeginRunArgs{RunID: 1, Program: "test-noop"}, &struct{}{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Call(RPCServiceName+".Checkpoint", struct{}{}, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Supported {
+		t.Error("noop program should not support checkpointing")
+	}
+	if err := c.Call(RPCServiceName+".Restore", RestoreArgs{}, &struct{}{}); err == nil {
+		t.Error("Restore for a Snapshotter-less program should fail")
+	}
+}

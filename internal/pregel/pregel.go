@@ -152,6 +152,16 @@ type Metrics struct {
 	BytesRemote int64 // bytes that crossed worker boundaries
 	BcastBytes  int64
 
+	// Fault-handling counters, populated by the RPC master (always
+	// zero for the in-process engine): retried calls, checkpoint
+	// restores after worker failures, checkpoints taken, bytes moved
+	// by checkpoints, and the superstep of the newest checkpoint.
+	Retries            int64
+	Recoveries         int64
+	Checkpoints        int64
+	CheckpointBytes    int64
+	LastCheckpointStep int
+
 	// prevRemote is internal bookkeeping for per-step netsim charging.
 	prevRemote int64
 }
@@ -173,4 +183,11 @@ func (m *Metrics) Add(other Metrics) {
 	m.BytesLocal += other.BytesLocal
 	m.BytesRemote += other.BytesRemote
 	m.BcastBytes += other.BcastBytes
+	m.Retries += other.Retries
+	m.Recoveries += other.Recoveries
+	m.Checkpoints += other.Checkpoints
+	m.CheckpointBytes += other.CheckpointBytes
+	if other.Checkpoints > 0 {
+		m.LastCheckpointStep = other.LastCheckpointStep
+	}
 }

@@ -3,6 +3,7 @@ package pregel
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"net/rpc"
 	"sort"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/netsim"
 )
 
 // RPC transport: the same vertex-centric programs running as genuinely
@@ -23,6 +25,13 @@ import (
 // registered factory (the master only sends the program name and
 // parameters), so each process holds its own replica state — the
 // in-process PreStep sharing trick does not and need not apply.
+//
+// The transport assumes real network weather: every master→worker
+// call runs under a per-attempt deadline with bounded exponential
+// backoff + jitter retries (RetryPolicy), workers deduplicate
+// repeated calls so a retried superstep never executes twice, and
+// crashed workers are re-dialed and restored from the last superstep
+// checkpoint (see checkpoint.go for the recovery model).
 
 // RPCServiceName is the registered net/rpc service name.
 const RPCServiceName = "DRLWorker"
@@ -71,8 +80,11 @@ type InitArgs struct {
 	GraphPath string
 }
 
-// BeginRunArgs starts one engine run (e.g. one batch).
+// BeginRunArgs starts one engine run (e.g. one batch). RunID makes
+// the call idempotent: a retried or recovery-replayed BeginRun for a
+// run the worker has already begun is a no-op.
 type BeginRunArgs struct {
+	RunID   int
 	Program string
 	Params  map[string]string
 }
@@ -98,18 +110,44 @@ type CollectReply struct {
 }
 
 // WorkerServer is the net/rpc service hosting one partition.
+//
+// Delivery semantics: Step deduplicates on the superstep number — a
+// retry of the step the worker just executed returns the cached reply
+// without recomputing, and a step that is neither the cached one nor
+// the next expected one fails with an out-of-sync error that makes
+// the master restore from checkpoint. BeginRun deduplicates on RunID
+// and FinishRun on a per-run flag, so every mutating call is
+// effectively exactly-once under the master's at-least-once retries.
 type WorkerServer struct {
 	mu      sync.Mutex
 	w       *Worker
 	factory RPCFactory
 	prog    Program
+
+	runID     int
+	lastStep  int
+	haveReply bool
+	lastReply StepReply
+	finished  bool
+
+	stepCount int
+	stepHook  func(completedSteps int)
+}
+
+// WorkerOptions tunes a worker service.
+type WorkerOptions struct {
+	// StepHook, if set, runs after every executed (non-deduplicated)
+	// superstep with the total count so far. cmd/drworker uses it to
+	// implement the -crash-after fault-injection flag.
+	StepHook func(completedSteps int)
 }
 
 // NewWorkerServer returns an empty worker service; Init must be called
 // over RPC before anything else.
 func NewWorkerServer() *WorkerServer { return &WorkerServer{} }
 
-// Init loads the graph and prepares the partition.
+// Init loads the graph and prepares the partition. Idempotent: a
+// retried Init simply reloads.
 func (s *WorkerServer) Init(args InitArgs, _ *struct{}) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -123,6 +161,13 @@ func (s *WorkerServer) Init(args InitArgs, _ *struct{}) error {
 		Graph:  g,
 		outbox: make([][]Msg, args.NumWorkers),
 	}
+	s.factory = RPCFactory{}
+	s.prog = nil
+	s.runID = 0
+	s.lastStep = -1
+	s.haveReply = false
+	s.lastReply = StepReply{}
+	s.finished = false
 	return nil
 }
 
@@ -133,13 +178,25 @@ func (s *WorkerServer) BeginRun(args BeginRunArgs, _ *struct{}) error {
 	if s.w == nil {
 		return errors.New("pregel: BeginRun before Init")
 	}
+	if args.RunID != 0 && args.RunID == s.runID && s.prog != nil {
+		return nil // duplicate delivery of a run we already began
+	}
 	f, err := lookupRPC(args.Program)
 	if err != nil {
 		return err
 	}
+	prog, err := f.New(args.Params, s.w)
+	if err != nil {
+		return err
+	}
 	s.factory = f
-	s.prog, err = f.New(args.Params, s.w)
-	return err
+	s.prog = prog
+	s.runID = args.RunID
+	s.lastStep = -1
+	s.haveReply = false
+	s.lastReply = StepReply{}
+	s.finished = false
+	return nil
 }
 
 // Step runs one superstep on the local partition.
@@ -148,6 +205,17 @@ func (s *WorkerServer) Step(args StepArgs, reply *StepReply) error {
 	defer s.mu.Unlock()
 	if s.prog == nil {
 		return errors.New("pregel: Step before BeginRun")
+	}
+	if s.haveReply && args.Step == s.lastStep {
+		// Duplicate delivery (the previous reply was lost or timed
+		// out): replay the cached reply instead of recomputing. The
+		// cached maps are only read from here on, so sharing them with
+		// a concurrent response encoder is safe.
+		*reply = s.lastReply
+		return nil
+	}
+	if args.Step != s.lastStep+1 {
+		return fmt.Errorf("%s: got step %d, expected %d", outOfSyncMsg, args.Step, s.lastStep+1)
 	}
 	w := s.w
 	w.Inbox = w.Inbox[:0]
@@ -179,17 +247,33 @@ func (s *WorkerServer) Step(args StepArgs, reply *StepReply) error {
 	w.msgsOut = 0
 	reply.Bcasts = w.bcast
 	w.bcast = nil
+
+	s.lastStep = args.Step
+	s.lastReply = *reply
+	s.haveReply = true
+	s.stepCount++
+	if s.stepHook != nil {
+		s.stepHook(s.stepCount)
+	}
 	return nil
 }
 
 // FinishRun runs the program's Finish (final-superstep block).
+// Idempotent per run.
 func (s *WorkerServer) FinishRun(_ struct{}, _ *struct{}) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.prog == nil {
 		return errors.New("pregel: FinishRun before BeginRun")
 	}
-	return s.prog.Finish(s.w)
+	if s.finished {
+		return nil
+	}
+	if err := s.prog.Finish(s.w); err != nil {
+		return err
+	}
+	s.finished = true
+	return nil
 }
 
 // Collect encodes the worker's final results.
@@ -208,8 +292,15 @@ func (s *WorkerServer) Collect(_ struct{}, reply *CollectReply) error {
 // listener fails. It returns the bound address through ready (useful
 // with ":0") and blocks.
 func ServeWorker(addr string, ready chan<- string) error {
+	return ServeWorkerOpts(addr, ready, WorkerOptions{})
+}
+
+// ServeWorkerOpts is ServeWorker with worker tuning options.
+func ServeWorkerOpts(addr string, ready chan<- string, opts WorkerOptions) error {
+	ws := NewWorkerServer()
+	ws.stepHook = opts.StepHook
 	srv := rpc.NewServer()
-	if err := srv.RegisterName(RPCServiceName, NewWorkerServer()); err != nil {
+	if err := srv.RegisterName(RPCServiceName, ws); err != nil {
 		return err
 	}
 	ln, err := net.Listen("tcp", addr)
@@ -228,28 +319,88 @@ func ServeWorker(addr string, ready chan<- string) error {
 	}
 }
 
+// MasterConfig tunes the master's fault handling.
+type MasterConfig struct {
+	// Retry bounds per-call deadlines and retries (zero value: use
+	// DefaultRetryPolicy).
+	Retry RetryPolicy
+	// CheckpointEvery snapshots worker state every k supersteps in
+	// addition to the run-boundary checkpoints the master always
+	// takes. 0 means run-boundary checkpoints only.
+	CheckpointEvery int
+	// Dial opens worker connections; nil means DialRPC. Recovery
+	// re-invokes it for the failed worker's address.
+	Dial Dialer
+	// Net charges simulated wire time for checkpoint traffic (zero
+	// value: free network), mirroring how the in-process engine
+	// charges exchanges.
+	Net netsim.Model
+}
+
+// checkpoint is one globally consistent barrier snapshot: the worker
+// state blobs plus the master's routing state feeding the step it
+// names.
+type checkpoint struct {
+	runID    int
+	step     int        // next superstep after restore
+	blobs    [][]byte   // per-worker Snapshotter state
+	pending  [][][]byte // packets destined to each worker at that step
+	bcasts   [][]byte
+	finished bool // taken after FinishRun (Collect-time recovery)
+}
+
 // Master coordinates a cluster of RPC workers.
 type Master struct {
-	clients []*rpc.Client
+	cfg        MasterConfig
+	addrs      []string
+	graphPath  string
+	transports []Transport
+
+	runID       int
+	lastProgram string
+	lastParams  map[string]string
+	ckpt        *checkpoint
+	ckptOff     bool // program lacks Snapshotter; recovery impossible
+	recoveries  int
+
+	rngMu   sync.Mutex
+	rng     *rand.Rand
+	statsMu sync.Mutex
+
 	// Metrics accumulates across runs, like the in-process engine.
 	Metrics Metrics
 }
 
-// DialCluster connects to the worker addresses and initializes each
-// with its partition assignment.
+// DialCluster connects to the worker addresses with default fault
+// handling and initializes each with its partition assignment.
 func DialCluster(addrs []string, graphPath string) (*Master, error) {
-	m := &Master{}
+	return DialClusterOpts(addrs, graphPath, MasterConfig{})
+}
+
+// DialClusterOpts is DialCluster with explicit fault-handling
+// configuration.
+func DialClusterOpts(addrs []string, graphPath string, cfg MasterConfig) (*Master, error) {
+	cfg.Retry = cfg.Retry.normalized()
+	if cfg.Dial == nil {
+		cfg.Dial = DialRPC
+	}
+	m := &Master{
+		cfg:       cfg,
+		addrs:     append([]string(nil), addrs...),
+		graphPath: graphPath,
+		rng:       rand.New(rand.NewSource(cfg.Retry.JitterSeed)),
+	}
 	for i, addr := range addrs {
-		c, err := rpc.Dial("tcp", addr)
+		t, err := cfg.Dial(addr)
 		if err != nil {
 			m.Close()
 			return nil, fmt.Errorf("pregel: dialing worker %d at %s: %w", i, addr, err)
 		}
-		m.clients = append(m.clients, c)
+		m.transports = append(m.transports, t)
 	}
-	for i, c := range m.clients {
-		args := InitArgs{WorkerID: i, NumWorkers: len(m.clients), GraphPath: graphPath}
-		if err := c.Call(RPCServiceName+".Init", args, &struct{}{}); err != nil {
+	for i := range m.transports {
+		args := InitArgs{WorkerID: i, NumWorkers: len(m.transports), GraphPath: graphPath}
+		if _, err := masterCall[struct{}](m, i, "Init", args); err != nil {
 			m.Close()
 			return nil, err
 		}
@@ -257,46 +408,271 @@ func DialCluster(addrs []string, graphPath string) (*Master, error) {
 	return m, nil
 }
 
-// Close drops the worker connections.
-func (m *Master) Close() {
-	for _, c := range m.clients {
-		if c != nil {
-			c.Close()
+// Close drops the worker connections and reports every close error.
+func (m *Master) Close() error {
+	var errs []error
+	for i, t := range m.transports {
+		if t == nil {
+			continue
+		}
+		if err := t.Close(); err != nil && !errors.Is(err, rpc.ErrShutdown) {
+			errs = append(errs, fmt.Errorf("pregel: closing worker %d: %w", i, err))
+		}
+		m.transports[i] = nil
+	}
+	return errors.Join(errs...)
+}
+
+// callOnce performs one attempt with the per-attempt deadline. The
+// reply must be fresh per attempt: an abandoned (timed-out) call may
+// still write into its reply when the response eventually lands.
+func (m *Master) callOnce(t Transport, method string, args, reply any) error {
+	timeout := m.cfg.Retry.CallTimeout
+	if timeout <= 0 {
+		return t.Call(method, args, reply)
+	}
+	done := make(chan error, 1)
+	go func() { done <- t.Call(method, args, reply) }()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case err := <-done:
+		return err
+	case <-timer.C:
+		return fmt.Errorf("pregel: %s: %w", method, ErrCallTimeout)
+	}
+}
+
+// masterCall performs a retried RPC to worker i. Transient errors
+// (timeouts, drops, dead connections) are retried with exponential
+// backoff + jitter; application errors surface immediately; exhausted
+// retries and out-of-sync workers come back as a *workerFailure that
+// the run loop recovers from via checkpoint restore.
+func masterCall[T any](m *Master, i int, method string, args any) (*T, error) {
+	pol := m.cfg.Retry
+	full := RPCServiceName + "." + method
+	var err error
+	for attempt := 1; ; attempt++ {
+		reply := new(T)
+		err = m.callOnce(m.transports[i], full, args, reply)
+		if err == nil {
+			return reply, nil
+		}
+		if !isTransient(err) {
+			if isOutOfSync(err) {
+				return nil, &workerFailure{workers: []int{i}, err: err}
+			}
+			return nil, err
+		}
+		if attempt >= pol.MaxAttempts {
+			break
+		}
+		m.statsMu.Lock()
+		m.Metrics.Retries++
+		m.statsMu.Unlock()
+		if d := pol.backoff(attempt, m.rng, &m.rngMu); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	return nil, &workerFailure{
+		workers: []int{i},
+		err:     fmt.Errorf("%s failed after %d attempts: %w: %w", method, pol.MaxAttempts, ErrRetriesExhausted, err),
+	}
+}
+
+// takeCheckpoint snapshots every worker at the current barrier. step,
+// pending, and bcasts describe the superstep the snapshot feeds. The
+// stored pending/bcasts slices are adopted, not copied — the run loop
+// never mutates a routing slice after handing it over.
+func (m *Master) takeCheckpoint(step int, pending [][][]byte, bcasts [][]byte, finished bool) error {
+	if m.ckptOff {
+		return nil
+	}
+	p := len(m.transports)
+	blobs := make([][]byte, p)
+	var bytes int64
+	for i := range m.transports {
+		r, err := masterCall[CheckpointReply](m, i, "Checkpoint", struct{}{})
+		if err != nil {
+			return err
+		}
+		if !r.Supported {
+			m.ckptOff = true
+			return nil
+		}
+		blobs[i] = r.Blob
+		bytes += int64(len(r.Blob))
+	}
+	m.ckpt = &checkpoint{
+		runID:    m.runID,
+		step:     step,
+		blobs:    blobs,
+		pending:  pending,
+		bcasts:   bcasts,
+		finished: finished,
+	}
+	m.Metrics.Checkpoints++
+	m.Metrics.CheckpointBytes += bytes
+	m.Metrics.LastCheckpointStep = step
+	m.Metrics.SimNetTime += m.cfg.Net.CheckpointCost(bytes, p)
+	return nil
+}
+
+// recoverWorkers brings the cluster back to the last checkpoint after
+// the listed workers failed: re-dial and re-Init each failed worker,
+// re-BeginRun it, then restore every worker's state to the checkpoint
+// barrier so the superstep loop can rewind and replay.
+func (m *Master) recoverWorkers(failed []int, cause error) error {
+	pol := m.cfg.Retry
+	if m.recoveries >= pol.MaxRecoveries {
+		return fmt.Errorf("pregel: giving up after %d recoveries: %w", m.recoveries, cause)
+	}
+	if m.ckptOff {
+		return fmt.Errorf("%w (program has no Snapshotter): %v", ErrNoRecovery, cause)
+	}
+	m.recoveries++
+	m.statsMu.Lock()
+	m.Metrics.Recoveries++
+	m.statsMu.Unlock()
+
+	redialed := map[int]bool{}
+	for _, i := range failed {
+		if redialed[i] {
+			continue
+		}
+		redialed[i] = true
+		if t := m.transports[i]; t != nil {
+			t.Close()
+		}
+		t, err := m.redial(m.addrs[i])
+		if err != nil {
+			return fmt.Errorf("pregel: re-dialing worker %d at %s: %w (after %v)", i, m.addrs[i], err, cause)
+		}
+		m.transports[i] = t
+		args := InitArgs{WorkerID: i, NumWorkers: len(m.transports), GraphPath: m.graphPath}
+		if _, err := masterCall[struct{}](m, i, "Init", args); err != nil {
+			return fmt.Errorf("pregel: re-initializing worker %d: %w", i, err)
+		}
+		if m.lastProgram != "" {
+			bargs := BeginRunArgs{RunID: m.runID, Program: m.lastProgram, Params: m.lastParams}
+			if _, err := masterCall[struct{}](m, i, "BeginRun", bargs); err != nil {
+				return fmt.Errorf("pregel: re-starting run on worker %d: %w", i, err)
+			}
+		}
+	}
+
+	ck := m.ckpt
+	if ck == nil {
+		// Nothing has stepped yet (failure during the first run's
+		// BeginRun phase): the re-begun workers are already consistent.
+		return nil
+	}
+	sameRun := ck.runID == m.runID
+	for i := range m.transports {
+		args := RestoreArgs{Blob: ck.blobs[i], SameRun: sameRun}
+		if sameRun {
+			args.Step = ck.step
+			args.Finished = ck.finished
+		}
+		if _, err := masterCall[struct{}](m, i, "Restore", args); err != nil {
+			return fmt.Errorf("pregel: restoring worker %d from checkpoint: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// redial re-opens a worker connection with the retry policy's backoff
+// (a restarting worker process needs a moment to rebind its port).
+func (m *Master) redial(addr string) (Transport, error) {
+	pol := m.cfg.Retry
+	var err error
+	for attempt := 1; ; attempt++ {
+		var t Transport
+		t, err = m.cfg.Dial(addr)
+		if err == nil {
+			return t, nil
+		}
+		if attempt >= pol.MaxAttempts {
+			return nil, err
+		}
+		if d := pol.backoff(attempt, m.rng, &m.rngMu); d > 0 {
+			time.Sleep(d)
 		}
 	}
 }
 
-// Run drives one engine run of the named program to quiescence.
+// Run drives one engine run of the named program to quiescence,
+// transparently retrying flaky calls and restoring from the last
+// superstep checkpoint when a worker crashes.
 func (m *Master) Run(program string, params map[string]string, maxSteps int) error {
-	p := len(m.clients)
-	for _, c := range m.clients {
-		if err := c.Call(RPCServiceName+".BeginRun", BeginRunArgs{Program: program, Params: params}, &struct{}{}); err != nil {
-			return err
-		}
-	}
-	pending := make([][][]byte, p) // packets destined to each worker
-	var bcasts [][]byte
+	m.runID++
+	m.lastProgram, m.lastParams = program, params
 	if maxSteps <= 0 {
 		maxSteps = 1 << 30
 	}
-	for step := 0; step < maxSteps; step++ {
-		replies := make([]StepReply, p)
+	for {
+		err := m.runAttempt(program, params, maxSteps)
+		if err == nil {
+			return nil
+		}
+		var wf *workerFailure
+		if !errors.As(err, &wf) {
+			return err
+		}
+		if rerr := m.recoverWorkers(wf.workers, err); rerr != nil {
+			return rerr
+		}
+	}
+}
+
+// runAttempt executes the run from wherever the cluster currently
+// stands: from scratch, or — after a recovery — from the last
+// checkpoint of the current run.
+func (m *Master) runAttempt(program string, params map[string]string, maxSteps int) error {
+	p := len(m.transports)
+	step := 0
+	pending := make([][][]byte, p) // packets destined to each worker
+	var bcasts [][]byte
+
+	if ck := m.ckpt; ck != nil && ck.runID == m.runID {
+		if ck.finished {
+			return nil // the run completed before the failure
+		}
+		step = ck.step
+		if ck.pending != nil {
+			pending = ck.pending
+		}
+		bcasts = ck.bcasts
+	} else {
+		bargs := BeginRunArgs{RunID: m.runID, Program: program, Params: params}
+		for i := range m.transports {
+			if _, err := masterCall[struct{}](m, i, "BeginRun", bargs); err != nil {
+				return err
+			}
+		}
+		// Barrier-0 snapshot: captures state carried over from earlier
+		// runs so any in-run failure can rewind at least to here.
+		if err := m.takeCheckpoint(0, nil, nil, false); err != nil {
+			return err
+		}
+	}
+
+	for ; step < maxSteps; step++ {
+		replies := make([]*StepReply, p)
 		errs := make([]error, p)
 		var wg sync.WaitGroup
 		exStart := time.Now()
-		for i, c := range m.clients {
+		for i := range m.transports {
 			wg.Add(1)
-			go func(i int, c *rpc.Client) {
+			go func(i int) {
 				defer wg.Done()
 				args := StepArgs{Step: step, Packets: pending[i], Bcasts: bcasts}
-				errs[i] = c.Call(RPCServiceName+".Step", args, &replies[i])
-			}(i, c)
+				replies[i], errs[i] = masterCall[StepReply](m, i, "Step", args)
+			}(i)
 		}
 		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return err
-			}
+		if err := mergeFailures(errs); err != nil {
+			return err
 		}
 		m.Metrics.Supersteps++
 		m.Metrics.CommTime += time.Since(exStart) // includes RPC transfer
@@ -305,8 +681,7 @@ func (m *Master) Run(program string, params map[string]string, maxSteps int) err
 		delivered := false
 		next := make([][][]byte, p)
 		bcasts = nil
-		for i := range replies {
-			r := &replies[i]
+		for i, r := range replies {
 			if d := time.Duration(r.ComputeNanos); d > slowest {
 				slowest = d
 			}
@@ -338,24 +713,57 @@ func (m *Master) Run(program string, params map[string]string, maxSteps int) err
 		if !delivered && len(bcasts) == 0 && !anyActive {
 			break
 		}
+		if k := m.cfg.CheckpointEvery; k > 0 && (step+1)%k == 0 {
+			if err := m.takeCheckpoint(step+1, pending, bcasts, false); err != nil {
+				return err
+			}
+		}
 	}
-	for _, c := range m.clients {
-		if err := c.Call(RPCServiceName+".FinishRun", struct{}{}, &struct{}{}); err != nil {
+	for i := range m.transports {
+		if _, err := masterCall[struct{}](m, i, "FinishRun", struct{}{}); err != nil {
 			return err
 		}
 	}
-	return nil
+	// Post-finish snapshot: the run boundary the next run (or a
+	// Collect-time recovery) restores from.
+	return m.takeCheckpoint(step+1, nil, nil, true)
 }
 
-// Collect gathers every worker's result blob.
+// Collect gathers every worker's result blob, recovering crashed
+// workers from the post-finish checkpoint.
 func (m *Master) Collect() ([][]byte, error) {
-	blobs := make([][]byte, len(m.clients))
-	for i, c := range m.clients {
-		var reply CollectReply
-		if err := c.Call(RPCServiceName+".Collect", struct{}{}, &reply); err != nil {
+	for {
+		blobs, err := m.collectAttempt()
+		if err == nil {
+			return blobs, nil
+		}
+		var wf *workerFailure
+		if !errors.As(err, &wf) {
+			return nil, err
+		}
+		if rerr := m.recoverWorkers(wf.workers, err); rerr != nil {
+			return nil, rerr
+		}
+	}
+}
+
+func (m *Master) collectAttempt() ([][]byte, error) {
+	blobs := make([][]byte, len(m.transports))
+	for i := range m.transports {
+		reply, err := masterCall[CollectReply](m, i, "Collect", struct{}{})
+		if err != nil {
 			return nil, err
 		}
 		blobs[i] = reply.Blob
 	}
 	return blobs, nil
+}
+
+// FaultCounters reports the master's fault-handling activity so far:
+// retried calls, checkpoint-restore recoveries, checkpoints taken,
+// and the superstep of the newest checkpoint.
+func (m *Master) FaultCounters() (retries, recoveries, checkpoints int64, lastCheckpointStep int) {
+	m.statsMu.Lock()
+	defer m.statsMu.Unlock()
+	return m.Metrics.Retries, m.Metrics.Recoveries, m.Metrics.Checkpoints, m.Metrics.LastCheckpointStep
 }

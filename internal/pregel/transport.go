@@ -1,0 +1,193 @@
+package pregel
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/rpc"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Transport abstracts one master↔worker connection so the retry,
+// fault-injection, and checkpoint machinery is independent of the
+// wire protocol. The production implementation is net/rpc over TCP
+// (*rpc.Client satisfies the interface directly); tests substitute
+// decorated or scripted transports.
+type Transport interface {
+	// Call performs one synchronous RPC. serviceMethod is the full
+	// "Service.Method" name as in net/rpc.
+	Call(serviceMethod string, args any, reply any) error
+	Close() error
+}
+
+// Dialer opens a Transport to a worker address. The master re-invokes
+// it during crash recovery, so implementations must tolerate being
+// called for an address that already had a (now dead) connection.
+type Dialer func(addr string) (Transport, error)
+
+// DialRPC is the default Dialer: net/rpc over TCP.
+func DialRPC(addr string) (Transport, error) {
+	return rpc.Dial("tcp", addr)
+}
+
+// Sentinel errors for the fault-handling paths. Callers match them
+// with errors.Is.
+var (
+	// ErrCallTimeout marks a per-attempt deadline expiry.
+	ErrCallTimeout = errors.New("pregel: call timed out")
+	// ErrRetriesExhausted wraps the last transient error after every
+	// retry attempt failed.
+	ErrRetriesExhausted = errors.New("pregel: retries exhausted")
+	// ErrNoRecovery is returned when a worker failed permanently but
+	// the run cannot be recovered (no checkpoint, or the program does
+	// not implement Snapshotter).
+	ErrNoRecovery = errors.New("pregel: worker failed and no recovery is possible")
+)
+
+// outOfSyncMsg prefixes worker-side errors that signal master/worker
+// superstep disagreement. net/rpc flattens errors to strings, so the
+// master matches the prefix; such errors trigger checkpoint recovery
+// rather than plain retries.
+const outOfSyncMsg = "pregel: worker out of sync"
+
+func isOutOfSync(err error) bool {
+	return err != nil && strings.Contains(err.Error(), outOfSyncMsg)
+}
+
+// isTransient reports whether err is worth retrying on the same
+// connection: timeouts, dropped or injected failures, and transport
+// breakage. Errors produced by the worker's handler arrive as
+// rpc.ServerError and are permanent — they signify a program or
+// protocol bug, not network weather (out-of-sync errors are handled
+// separately via recovery).
+func isTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	var se rpc.ServerError
+	return !errors.As(err, &se)
+}
+
+// RetryPolicy bounds the master's per-call fault handling. The zero
+// value means "use DefaultRetryPolicy"; set a field negative to
+// disable that mechanism explicitly.
+type RetryPolicy struct {
+	// CallTimeout is the per-attempt deadline. 0 picks the default;
+	// negative disables deadlines.
+	CallTimeout time.Duration
+	// MaxAttempts is the total number of tries per call (first attempt
+	// included). 0 picks the default; negative means a single attempt.
+	MaxAttempts int
+	// BaseBackoff is the backoff before the second attempt; it doubles
+	// per attempt (with jitter) up to MaxBackoff.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// JitterSeed seeds the deterministic backoff jitter (tests).
+	JitterSeed int64
+	// MaxRecoveries bounds re-dial + checkpoint-restore cycles per
+	// master. 0 picks the default; negative disables recovery.
+	MaxRecoveries int
+}
+
+// DefaultRetryPolicy returns the production defaults: 30 s per call,
+// 4 attempts with 50 ms–2 s exponential backoff, 4 recoveries.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		CallTimeout:   30 * time.Second,
+		MaxAttempts:   4,
+		BaseBackoff:   50 * time.Millisecond,
+		MaxBackoff:    2 * time.Second,
+		MaxRecoveries: 4,
+	}
+}
+
+// normalized resolves the zero-value-means-default convention.
+func (p RetryPolicy) normalized() RetryPolicy {
+	def := DefaultRetryPolicy()
+	if p.CallTimeout == 0 {
+		p.CallTimeout = def.CallTimeout
+	} else if p.CallTimeout < 0 {
+		p.CallTimeout = 0
+	}
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = def.MaxAttempts
+	} else if p.MaxAttempts < 0 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseBackoff == 0 {
+		p.BaseBackoff = def.BaseBackoff
+	} else if p.BaseBackoff < 0 {
+		p.BaseBackoff = 0
+	}
+	if p.MaxBackoff == 0 {
+		p.MaxBackoff = def.MaxBackoff
+	}
+	if p.MaxRecoveries == 0 {
+		p.MaxRecoveries = def.MaxRecoveries
+	} else if p.MaxRecoveries < 0 {
+		p.MaxRecoveries = 0
+	}
+	return p
+}
+
+// backoff returns the sleep before retry attempt+1 (attempt counts
+// from 1): exponential with half-width jitter, capped at MaxBackoff.
+func (p RetryPolicy) backoff(attempt int, rng *rand.Rand, mu *sync.Mutex) time.Duration {
+	if p.BaseBackoff <= 0 {
+		return 0
+	}
+	d := p.BaseBackoff
+	for i := 1; i < attempt && d < p.MaxBackoff; i++ {
+		d *= 2
+	}
+	if p.MaxBackoff > 0 && d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	half := int64(d / 2)
+	if half <= 0 {
+		return d
+	}
+	mu.Lock()
+	j := rng.Int63n(half + 1)
+	mu.Unlock()
+	return time.Duration(half + j)
+}
+
+// workerFailure marks an error as recoverable by re-dialing the named
+// workers and restoring the last checkpoint.
+type workerFailure struct {
+	workers []int
+	err     error
+}
+
+func (e *workerFailure) Error() string {
+	return fmt.Sprintf("pregel: worker(s) %v failed: %v", e.workers, e.err)
+}
+
+func (e *workerFailure) Unwrap() error { return e.err }
+
+// mergeFailures folds per-worker errors into a single error: the
+// first permanent (application) error wins; otherwise all recoverable
+// failures are merged into one workerFailure.
+func mergeFailures(errs []error) error {
+	var merged *workerFailure
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		var wf *workerFailure
+		if !errors.As(err, &wf) {
+			return err
+		}
+		if merged == nil {
+			merged = &workerFailure{err: wf.err}
+		}
+		merged.workers = append(merged.workers, wf.workers...)
+	}
+	if merged == nil {
+		return nil
+	}
+	return merged
+}

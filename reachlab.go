@@ -115,6 +115,13 @@ type BuildStats struct {
 	Supersteps    int
 	Messages      int64
 	BytesRemote   int64
+
+	// Fault-handling activity (cluster builds; zero for in-process
+	// methods, which have no network to fail).
+	Retries            int64 // per-call retry attempts
+	Recoveries         int64 // checkpoint-restore recoveries
+	Checkpoints        int64 // superstep checkpoints taken
+	LastCheckpointStep int   // superstep of the newest checkpoint
 }
 
 // Index is a reachability index over a graph. It is self-contained:
@@ -195,6 +202,11 @@ func Build(ctx context.Context, g *Graph, opts Options) (*Index, error) {
 			Supersteps:    met.Supersteps,
 			Messages:      met.Messages,
 			BytesRemote:   met.BytesRemote,
+
+			Retries:            met.Retries,
+			Recoveries:         met.Recoveries,
+			Checkpoints:        met.Checkpoints,
+			LastCheckpointStep: met.LastCheckpointStep,
 		},
 	}, nil
 }

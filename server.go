@@ -74,12 +74,24 @@ func (h *QueryHandler) reach(w http.ResponseWriter, r *http.Request) {
 
 func (h *QueryHandler) stats(w http.ResponseWriter, _ *http.Request) {
 	st := h.idx.Stats()
+	bs := h.idx.BuildStats()
 	writeJSON(w, map[string]any{
 		"vertices":       h.idx.NumVertices(),
 		"entries":        st.Entries,
 		"bytes":          st.Bytes,
 		"max_label_size": st.MaxLabelSize,
 		"avg_label_size": st.AvgLabelSize,
+		// Construction cost and fault-handling activity. All zero for
+		// an index loaded from disk (ReadIndex carries no build record).
+		"build": map[string]any{
+			"method":               string(bs.Method),
+			"workers":              bs.Workers,
+			"supersteps":           bs.Supersteps,
+			"retries":              bs.Retries,
+			"recoveries":           bs.Recoveries,
+			"checkpoints":          bs.Checkpoints,
+			"last_checkpoint_step": bs.LastCheckpointStep,
+		},
 	})
 }
 

@@ -5,7 +5,12 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/pregel"
 )
 
 func testIndex(t *testing.T) *Index {
@@ -79,6 +84,11 @@ func TestQueryHandlerStatsAndHealth(t *testing.T) {
 	var stats struct {
 		Vertices int   `json:"vertices"`
 		Entries  int64 `json:"entries"`
+		Build    struct {
+			Method     string `json:"method"`
+			Workers    int    `json:"workers"`
+			Supersteps int    `json:"supersteps"`
+		} `json:"build"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
 		t.Fatal(err)
@@ -87,6 +97,9 @@ func TestQueryHandlerStatsAndHealth(t *testing.T) {
 	if stats.Vertices != 11 || stats.Entries == 0 {
 		t.Errorf("stats = %+v", stats)
 	}
+	if stats.Build.Method != string(MethodDRLBatch) || stats.Build.Supersteps == 0 {
+		t.Errorf("build section = %+v", stats.Build)
+	}
 	resp, err = http.Get(srv.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
@@ -94,6 +107,72 @@ func TestQueryHandlerStatsAndHealth(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("healthz status %d", resp.StatusCode)
+	}
+}
+
+// TestStatsExposeFaultCounters builds over a real RPC cluster through
+// a lossy transport and checks the retry/checkpoint counters surface
+// on /stats.
+func TestStatsExposeFaultCounters(t *testing.T) {
+	g := NewGraph(11, testEdges())
+	path := filepath.Join(t.TempDir(), "g.bin")
+	if err := graph.SaveFile(path, g.d, true); err != nil {
+		t.Fatal(err)
+	}
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		ready := make(chan string, 1)
+		go func() {
+			if err := ServeWorker("127.0.0.1:0", ready); err != nil {
+				t.Log(err)
+			}
+		}()
+		addrs = append(addrs, <-ready)
+	}
+	seed := int64(0)
+	copt := ClusterOptions{
+		Retry: RetryPolicy{
+			MaxAttempts: 8,
+			BaseBackoff: time.Millisecond,
+			MaxBackoff:  5 * time.Millisecond,
+		},
+		CheckpointEvery: 2,
+		Dial: func(addr string) (pregel.Transport, error) {
+			inner, err := pregel.DialRPC(addr)
+			if err != nil {
+				return nil, err
+			}
+			seed++
+			return pregel.NewFaultTransport(inner, pregel.FaultPlan{Seed: seed, DropProb: 0.25}), nil
+		},
+	}
+	idx, err := BuildOverClusterOpts(addrs, path, Options{}, copt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewQueryHandler(idx))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Build struct {
+			Retries            int64 `json:"retries"`
+			Recoveries         int64 `json:"recoveries"`
+			Checkpoints        int64 `json:"checkpoints"`
+			LastCheckpointStep int   `json:"last_checkpoint_step"`
+		} `json:"build"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Build.Retries == 0 {
+		t.Error("expected retried calls on a lossy transport")
+	}
+	if stats.Build.Checkpoints == 0 || stats.Build.LastCheckpointStep == 0 {
+		t.Errorf("expected checkpoint activity in /stats: %+v", stats.Build)
 	}
 }
 
