@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet check bench tools examples experiments clean
+.PHONY: all build test vet check cover bench bench-smoke tools examples experiments clean
 
 all: build vet test
 
@@ -20,8 +20,16 @@ vet:
 test:
 	go test ./...
 
+cover:
+	go test -cover ./...
+
 bench:
 	go test -bench=. -benchmem
+
+# One-iteration benchmark pass — catches bit-rot in the bench harness
+# without paying for real measurements (CI's bench-smoke job).
+bench-smoke:
+	go test -run=NONE -bench=Table6 -benchtime=1x .
 
 tools:
 	go build -o bin/ ./cmd/...

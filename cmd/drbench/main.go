@@ -6,12 +6,19 @@
 //
 //	drbench -exp table6 -suite medium -workers 8 -cutoff 60s
 //	drbench -exp all    -suite tiny
+//	drbench -suite tiny -json
 //
 // Experiments: table5, table6, fig5, fig6, fig7, fig8, fig9, all.
 // Suites: tiny, medium, large, all (see internal/bench).
+//
+// -json additionally runs a profiling pass (TOL, DRL_b^M, DRL, DRL_b
+// per dataset) and writes a machine-readable
+// BENCH_<exp>-<suite>-p<P>-<unix>.json record with build times,
+// superstep and message volume, and query-latency percentiles.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +37,8 @@ func main() {
 		queries = flag.Int("queries", 20000, "sampled queries per query-time figure")
 		latency = flag.Duration("latency", 100*time.Microsecond, "simulated per-superstep barrier latency")
 		quiet   = flag.Bool("q", false, "suppress progress lines")
+		asJSON  = flag.Bool("json", false, "also write a machine-readable BENCH_*.json record")
+		jsonDir = flag.String("json-dir", ".", "directory for BENCH_*.json records")
 	)
 	flag.Parse()
 
@@ -123,11 +132,49 @@ func main() {
 				fatal(err)
 			}
 		}
-		return
-	}
-	if err := run(*exp); err != nil {
+	} else if err := run(*exp); err != nil {
 		fatal(err)
 	}
+
+	if *asJSON {
+		if err := writeRecord(r, ds, *exp, *suite, *jsonDir, progress); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeRecord runs the profiling pass and serializes it to
+// BENCH_<exp>-<suite>-p<P>-<unix>.json under dir.
+func writeRecord(r *bench.Runner, ds []bench.Dataset, exp, suite, dir string, progress func(string)) error {
+	recs, err := r.Profile(ds, progress)
+	if err != nil {
+		return err
+	}
+	now := time.Now().Unix()
+	rec := bench.RunRecord{
+		Experiment: exp,
+		Suite:      suite,
+		Workers:    r.Workers,
+		Queries:    r.Queries,
+		UnixTime:   now,
+		Datasets:   recs,
+	}
+	name := fmt.Sprintf("%s/BENCH_%s-%s-p%d-%d.json", dir, exp, suite, r.Workers, now)
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", name)
+	return nil
 }
 
 func fatal(err error) {

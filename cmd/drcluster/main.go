@@ -19,12 +19,20 @@
 // respawned on the same port automatically; -flaky N makes the first
 // spawned worker kill itself after N supersteps to demonstrate the
 // recovery path end to end.
+//
+// Observability: -obs addr serves /metrics (Prometheus text), /trace
+// (superstep trace JSON), and /debug/pprof on addr while the build
+// runs; -trace file writes the collected superstep trace to a file
+// afterwards. Master-side counters aggregate the per-worker step
+// replies, so message and byte volume cover the whole cluster.
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -36,6 +44,7 @@ import (
 	"repro/internal/drl"
 	"repro/internal/graph"
 	"repro/internal/label"
+	"repro/internal/obs"
 	"repro/internal/pregel"
 )
 
@@ -54,10 +63,22 @@ func main() {
 		backoff = flag.Duration("backoff", 0, "base retry backoff (0 = default 50ms)")
 		ckpt    = flag.Int("checkpoint", 0, "checkpoint worker state every k supersteps (0 = run boundaries only)")
 		flaky   = flag.Int("flaky", 0, "spawn mode: first worker crashes after N supersteps (fault demo)")
+
+		obsAddr  = flag.String("obs", "", "serve /metrics, /trace, and /debug/pprof on this address during the build")
+		traceOut = flag.String("trace", "", "write the superstep trace JSON to this file after the build")
 	)
 	flag.Parse()
 	if *in == "" || *out == "" {
 		fatal(fmt.Errorf("both -i and -o are required"))
+	}
+
+	reg := obs.Default
+	if *obsAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*obsAddr, obs.Handler(reg)); err != nil {
+				fmt.Fprintln(os.Stderr, "drcluster: obs endpoint:", err)
+			}
+		}()
 	}
 
 	copt := drl.ClusterOptions{
@@ -67,6 +88,7 @@ func main() {
 			BaseBackoff: *backoff,
 		},
 		CheckpointEvery: *ckpt,
+		Obs:             reg,
 	}
 
 	var addrs []string
@@ -112,6 +134,12 @@ func main() {
 		fmt.Printf("fault handling: %d retried calls, %d recoveries, %d checkpoints (%.2f MB, last at superstep %d)\n",
 			met.Retries, met.Recoveries, met.Checkpoints,
 			float64(met.CheckpointBytes)/(1<<20), met.LastCheckpointStep)
+	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, reg); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote superstep trace to %s\n", *traceOut)
 	}
 
 	f, err := os.Create(*out)
@@ -221,6 +249,22 @@ func (s *spawner) cleanup() {
 	for _, c := range procs {
 		c.Wait()
 	}
+}
+
+// writeTrace dumps the per-superstep trace rows collected during the
+// build as indented JSON.
+func writeTrace(path string, reg *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(reg.TraceSnapshot()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

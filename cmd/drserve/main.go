@@ -7,6 +7,12 @@
 //	drserve -idx graph.idx -listen :8080
 //	curl 'localhost:8080/reach?s=3&t=17'
 //	curl 'localhost:8080/stats'
+//
+// Observability (see DESIGN.md §7):
+//
+//	curl 'localhost:8080/metrics'                          # Prometheus text
+//	curl 'localhost:8080/trace'                            # superstep traces
+//	go tool pprof 'localhost:8080/debug/pprof/profile?seconds=10'
 package main
 
 import (
@@ -37,7 +43,7 @@ func main() {
 		fatal(err)
 	}
 	st := idx.Stats()
-	fmt.Printf("serving %d vertices (%.2f MB index) on %s\n",
+	fmt.Printf("serving %d vertices (%.2f MB index) on %s (metrics at /metrics, profiles at /debug/pprof/)\n",
 		idx.NumVertices(), float64(st.Bytes)/(1<<20), *listen)
 	if err := http.ListenAndServe(*listen, reachlab.NewQueryHandler(idx)); err != nil {
 		fatal(err)

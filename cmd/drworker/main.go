@@ -14,13 +14,19 @@
 // For fault-tolerance experiments, -crash-after N kills the process
 // after N executed supersteps; the master re-dials the address and
 // restores the replacement from the last checkpoint.
+//
+// -obs addr serves the worker's own /metrics and /debug/pprof on addr
+// (per-step compute time and message counts for this node; the master
+// aggregates cluster-wide volume).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 
+	"repro/internal/obs"
 	"repro/internal/pregel"
 
 	_ "repro/internal/drl" // registers the drl and drl-batch programs
@@ -29,9 +35,18 @@ import (
 func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "address to listen on")
 	crashAfter := flag.Int("crash-after", 0, "exit abruptly after N executed supersteps (fault injection; 0 = never)")
+	obsAddr := flag.String("obs", "", "serve /metrics and /debug/pprof on this address")
 	flag.Parse()
 
 	var opts pregel.WorkerOptions
+	opts.Obs = obs.Default
+	if *obsAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*obsAddr, obs.Handler(obs.Default)); err != nil {
+				fmt.Fprintln(os.Stderr, "drworker: obs endpoint:", err)
+			}
+		}()
+	}
 	if *crashAfter > 0 {
 		n := *crashAfter
 		opts.StepHook = func(completed int) {

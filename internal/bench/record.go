@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/label"
+	"repro/internal/order"
+)
+
+// Machine-readable benchmark records: drbench -json serializes one
+// RunRecord per invocation (a BENCH_*.json file) so dashboards and
+// regression checks can consume the numbers without scraping tables.
+
+// RunRecord is the top-level envelope of one drbench run.
+type RunRecord struct {
+	Experiment string          `json:"experiment"`
+	Suite      string          `json:"suite"`
+	Workers    int             `json:"workers"`
+	Queries    int             `json:"queries"`
+	UnixTime   int64           `json:"unix_time,omitempty"`
+	Datasets   []DatasetRecord `json:"datasets"`
+}
+
+// DatasetRecord collects the per-algorithm measurements of one graph.
+type DatasetRecord struct {
+	Name   string        `json:"name"`
+	Builds []BuildRecord `json:"builds"`
+}
+
+// BuildRecord is one (dataset, algorithm) measurement in serializable
+// form.
+type BuildRecord struct {
+	Algo           string       `json:"algo"`
+	Seconds        float64      `json:"seconds"`
+	ComputeSeconds float64      `json:"compute_seconds"`
+	CommSeconds    float64      `json:"comm_seconds"`
+	Supersteps     int          `json:"supersteps,omitempty"`
+	Messages       int64        `json:"messages,omitempty"`
+	BytesRemote    int64        `json:"bytes_remote,omitempty"`
+	IndexBytes     int64        `json:"index_bytes,omitempty"`
+	TimedOut       bool         `json:"timed_out,omitempty"`
+	Error          string       `json:"error,omitempty"`
+	Query          *QueryRecord `json:"query,omitempty"`
+}
+
+// QueryRecord is the query-latency distribution of an index.
+type QueryRecord struct {
+	MeanNanos int64 `json:"mean_ns"`
+	P50Nanos  int64 `json:"p50_ns"`
+	P90Nanos  int64 `json:"p90_ns"`
+	P99Nanos  int64 `json:"p99_ns"`
+}
+
+func buildRecord(res BuildResult) BuildRecord {
+	rec := BuildRecord{
+		Algo:           res.Algo,
+		Seconds:        res.Total.Seconds(),
+		ComputeSeconds: res.Comp.Seconds(),
+		CommSeconds:    res.Comm.Seconds(),
+		Supersteps:     res.Supersteps,
+		Messages:       res.Messages,
+		BytesRemote:    res.BytesRemote,
+		IndexBytes:     res.Bytes,
+		TimedOut:       res.TimedOut,
+	}
+	if res.Err != nil {
+		rec.Error = res.Err.Error()
+	}
+	return rec
+}
+
+// QueryStats is the measured query-latency distribution.
+type QueryStats struct {
+	Mean, P50, P90, P99 time.Duration
+}
+
+// QueryProfile measures the query-latency distribution of idx. Single
+// queries run in tens of nanoseconds, below timer resolution, so
+// latencies are sampled per chunk of queries and the percentiles are
+// taken over the per-query chunk means.
+func (r *Runner) QueryProfile(idx *label.Index) QueryStats {
+	if idx == nil || idx.NumVertices() == 0 {
+		return QueryStats{}
+	}
+	pairs := queryPairs(idx.NumVertices(), r.Queries, 7)
+	const chunk = 64
+	lats := make([]time.Duration, 0, (len(pairs)+chunk-1)/chunk)
+	var total time.Duration
+	for lo := 0; lo < len(pairs); lo += chunk {
+		hi := lo + chunk
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		start := time.Now()
+		for _, p := range pairs[lo:hi] {
+			idx.Reachable(p.U, p.V)
+		}
+		d := time.Since(start)
+		total += d
+		lats = append(lats, d/time.Duration(hi-lo))
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(q float64) time.Duration {
+		i := int(q*float64(len(lats)-1) + 0.5)
+		return lats[i]
+	}
+	return QueryStats{
+		Mean: total / time.Duration(len(pairs)),
+		P50:  pct(0.50),
+		P90:  pct(0.90),
+		P99:  pct(0.99),
+	}
+}
+
+// Profile runs TOL, DRL_b^M, DRL, and DRL_b over every dataset and
+// returns serializable records including build cost, BSP volume, and
+// query-latency percentiles — the payload of drbench -json.
+func (r *Runner) Profile(ds []Dataset, progress func(string)) ([]DatasetRecord, error) {
+	recs := make([]DatasetRecord, 0, len(ds))
+	for _, d := range ds {
+		g, err := d.Build()
+		if err != nil {
+			return nil, fmt.Errorf("bench: building %s: %w", d.Name, err)
+		}
+		ord := order.Compute(g)
+		rec := DatasetRecord{Name: d.Name}
+		for _, res := range []BuildResult{
+			r.RunTOL(g, ord),
+			r.RunDRLbM(g, ord),
+			r.RunDRL(g, ord),
+			r.RunDRLb(g, ord),
+		} {
+			br := buildRecord(res)
+			if res.Index != nil {
+				qs := r.QueryProfile(res.Index)
+				br.Query = &QueryRecord{
+					MeanNanos: qs.Mean.Nanoseconds(),
+					P50Nanos:  qs.P50.Nanoseconds(),
+					P90Nanos:  qs.P90.Nanoseconds(),
+					P99Nanos:  qs.P99.Nanoseconds(),
+				}
+			}
+			rec.Builds = append(rec.Builds, br)
+			report(progress, "profile %s %s: %s", d.Name, res.Algo, fmtBuild(res.Total, res.TimedOut))
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}

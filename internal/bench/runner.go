@@ -60,6 +60,13 @@ type BuildResult struct {
 	Bytes    int64
 	TimedOut bool
 	Err      error
+
+	// Supersteps, Messages, and BytesRemote describe the BSP run of the
+	// distributed algorithms (zero for TOL and DRL_b^M, which exchange
+	// no messages).
+	Supersteps  int
+	Messages    int64
+	BytesRemote int64
 }
 
 // INF reports whether the result should print as "INF" (cut-off hit).
@@ -126,10 +133,13 @@ func (r *Runner) RunDRLbM(g *graph.Digraph, ord *order.Ordering) BuildResult {
 // distResult converts a distributed build into a BuildResult.
 func distResult(algo string, idx *label.Index, met pregel.Metrics, err error) BuildResult {
 	res := BuildResult{
-		Algo:  algo,
-		Total: met.Total(),
-		Comp:  met.ComputeTime,
-		Comm:  met.TotalComm(),
+		Algo:        algo,
+		Total:       met.Total(),
+		Comp:        met.ComputeTime,
+		Comm:        met.TotalComm(),
+		Supersteps:  met.Supersteps,
+		Messages:    met.Messages,
+		BytesRemote: met.BytesRemote,
 	}
 	if err != nil {
 		res.TimedOut = isCancel(err)

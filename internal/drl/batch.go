@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/label"
+	"repro/internal/obs"
 	"repro/internal/order"
 )
 
@@ -102,6 +103,11 @@ func BuildBatch(g *graph.Digraph, ord *order.Ordering, bp BatchParams, opt Optio
 	for i := range scratches {
 		scratches[i] = &scratch{visit: make([]int32, n), block: make([]int32, n)}
 	}
+	cBatches := opt.Obs.Counter("drl_batches_total")
+	hBatch := opt.Obs.Histogram("drl_batch_vertices", obs.SizeBuckets)
+	cBFS := opt.Obs.Counter("drl_trimmed_bfs_total")
+	cVisits := opt.Obs.Counter("drl_bfs_visits_total")
+	cRefine := opt.Obs.Counter("drl_refine_rounds_total")
 
 	// batchTrimmed is the trimmed BFS with batch-label pruning: the
 	// expansion into w is blocked both at higher-order vertices
@@ -130,6 +136,8 @@ func BuildBatch(g *graph.Digraph, ord *order.Ordering, bp BatchParams, opt Optio
 				low = append(low, w)
 			}
 		}
+		cBFS.Inc()
+		cVisits.Add(int64(len(low)))
 		return low
 	}
 
@@ -150,11 +158,14 @@ func BuildBatch(g *graph.Digraph, ord *order.Ordering, bp BatchParams, opt Optio
 		if err != nil {
 			return nil, err
 		}
+		cBatches.Inc()
+		hBatch.Observe(float64(span.Size()))
 		visitedFwd := invertLowsAt(n, fwdLows, span.Lo)
 		visitedBwd := invertLowsAt(n, bwdLows, span.Lo)
 
 		// In-batch refinement (Lemma 5) plus label append; new ranks
 		// all exceed previously appended ones, so lists stay sorted.
+		cRefine.Inc()
 		err = parallelRanks(0, order.Rank(n), opt.workers(), opt.Cancel, func(_ int, i order.Rank) {
 			w := graph.VertexID(i)
 			fRow := visitedFwd.Row(w)

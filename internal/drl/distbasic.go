@@ -289,7 +289,7 @@ func appendPair(blob []byte, v graph.VertexID, r order.Rank) []byte {
 // BuildDistributedBasic runs DRL⁻ on the vertex-centric system.
 func BuildDistributedBasic(g *graph.Digraph, ord *order.Ordering, opt DistOptions) (*label.Index, pregel.Metrics, error) {
 	var met pregel.Metrics
-	eng := pregel.New(g, pregel.Config{Workers: opt.Workers, Net: opt.Net, Cancel: opt.Cancel})
+	eng := pregel.New(g, pregel.Config{Workers: opt.Workers, Net: opt.Net, Cancel: opt.Cancel, Obs: opt.Obs})
 	m, err := eng.Run(&basicPhaseA{ord: ord, cancel: opt.Cancel})
 	met.Add(m)
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/label"
+	"repro/internal/obs"
 	"repro/internal/order"
 	"repro/internal/pregel"
 )
@@ -283,7 +284,9 @@ func BuildDistributedBatch(g *graph.Digraph, ord *order.Ordering, bp BatchParams
 	if err != nil {
 		return nil, met, err
 	}
-	eng := pregel.New(g, pregel.Config{Workers: opt.Workers, Net: opt.Net, Cancel: opt.Cancel})
+	eng := pregel.New(g, pregel.Config{Workers: opt.Workers, Net: opt.Net, Cancel: opt.Cancel, Obs: opt.Obs})
+	cBatches := opt.Obs.Counter("drl_batches_total")
+	hBatch := opt.Obs.Histogram("drl_batch_vertices", obs.SizeBuckets)
 	for _, span := range spans {
 		shared := newBatchShared(ord, span)
 		shared.cancel = opt.Cancel
@@ -293,6 +296,8 @@ func BuildDistributedBatch(g *graph.Digraph, ord *order.Ordering, bp BatchParams
 		if err != nil {
 			return nil, met, err
 		}
+		cBatches.Inc()
+		hBatch.Observe(float64(span.Size()))
 	}
 	idx := collectIndex(eng, ord, &met)
 	return idx, met, nil

@@ -7,6 +7,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/label"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/order"
 	"repro/internal/pregel"
 )
@@ -19,6 +20,8 @@ type DistOptions struct {
 	Net netsim.Model
 	// Cancel aborts the build when closed.
 	Cancel <-chan struct{}
+	// Obs receives engine counters and the superstep trace (nil = off).
+	Obs *obs.Registry
 }
 
 // Message kinds: a v-sourced trimmed BFS step on G (building in-label
@@ -253,7 +256,7 @@ func (p *distProgram) Finish(w *pregel.Worker) error {
 // system with opt.Workers computation nodes and returns the index
 // plus the run's cost metrics.
 func BuildDistributed(g *graph.Digraph, ord *order.Ordering, opt DistOptions) (*label.Index, pregel.Metrics, error) {
-	eng := pregel.New(g, pregel.Config{Workers: opt.Workers, Net: opt.Net, Cancel: opt.Cancel})
+	eng := pregel.New(g, pregel.Config{Workers: opt.Workers, Net: opt.Net, Cancel: opt.Cancel, Obs: opt.Obs})
 	prog := &distProgram{shared: &distShared{
 		ord:     ord,
 		ibfsFwd: make(map[graph.VertexID][]order.Rank),

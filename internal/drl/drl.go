@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/label"
+	"repro/internal/obs"
 	"repro/internal/order"
 )
 
@@ -44,6 +45,8 @@ type Options struct {
 	Workers int
 	// Cancel aborts the build when closed.
 	Cancel <-chan struct{}
+	// Obs receives build-path counters ("drl_*"); nil disables.
+	Obs *obs.Registry
 }
 
 func (o Options) workers() int {
@@ -196,10 +199,15 @@ func allTrimmedLows(g *graph.Digraph, ord *order.Ordering, opt Options) ([][]gra
 	for i := range scratches {
 		scratches[i] = label.NewScratch(n)
 	}
+	opt.Obs.Counter("drl_filter_rounds_total").Inc()
+	cBFS := opt.Obs.Counter("drl_trimmed_bfs_total")
+	cVisits := opt.Obs.Counter("drl_bfs_visits_total")
 	err := parallelRanks(0, order.Rank(n), opt.workers(), opt.Cancel, func(wk int, r order.Rank) {
 		v := ord.VertexAt(r)
 		low, _ := label.TrimmedBFS(g, ord, v, scratches[wk], nil, nil)
 		lows[r] = low
+		cBFS.Inc()
+		cVisits.Add(int64(len(low)))
 	})
 	if err != nil {
 		return nil, err

@@ -39,6 +39,7 @@ func BuildImproved(g *graph.Digraph, ord *order.Ordering, opt Options) (*label.I
 	// Refinement phase (Lemma 5), per target vertex, in parallel.
 	in := make([][]order.Rank, n)
 	out := make([][]order.Rank, n)
+	opt.Obs.Counter("drl_refine_rounds_total").Inc()
 	err = parallelRanks(0, order.Rank(n), opt.workers(), opt.Cancel, func(_ int, wr order.Rank) {
 		w := ord.VertexAt(wr)
 		fRow := visitedFwd.Row(w)

@@ -1,10 +1,14 @@
 package drl
 
 import (
+	"bytes"
+	"fmt"
+	"strings"
 	"testing"
 
 	"repro/internal/graph"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/order"
 )
 
@@ -75,6 +79,112 @@ func TestWorkerCountIndependence(t *testing.T) {
 		} else if base.entries != idx.Entries() {
 			t.Fatalf("p=%d: entry count changed", p)
 		}
+	}
+}
+
+// TestObsCountersMatchMetrics: the observability counters must agree
+// exactly with the engine's own Metrics — the deterministic message
+// and byte counts are the acceptance bar for the /metrics pipeline.
+func TestObsCountersMatchMetrics(t *testing.T) {
+	g := randomDigraph(80, 240, 63)
+	ord := order.Compute(g)
+
+	reg := obs.New()
+	_, met, err := BuildDistributed(g, ord, DistOptions{Workers: 4, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.CounterValue("pregel_messages_total"); got != met.Messages {
+		t.Errorf("pregel_messages_total = %d, metrics say %d", got, met.Messages)
+	}
+	if got := reg.CounterValue("pregel_supersteps_total"); got != int64(met.Supersteps) {
+		t.Errorf("pregel_supersteps_total = %d, metrics say %d", got, met.Supersteps)
+	}
+	if got := reg.CounterValue("pregel_bytes_local_total"); got != met.BytesLocal {
+		t.Errorf("pregel_bytes_local_total = %d, metrics say %d", got, met.BytesLocal)
+	}
+	if got := reg.CounterValue("pregel_bcast_bytes_total"); got != met.BcastBytes {
+		t.Errorf("pregel_bcast_bytes_total = %d, metrics say %d", got, met.BcastBytes)
+	}
+	// met.BytesRemote additionally charges the final index gather
+	// (collectIndex), which happens outside the engine run.
+	remote := reg.CounterValue("pregel_bytes_remote_total")
+	if remote <= 0 || remote > met.BytesRemote {
+		t.Errorf("pregel_bytes_remote_total = %d, want in (0, %d]", remote, met.BytesRemote)
+	}
+
+	// The Prometheus document carries the same numbers verbatim.
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.String()
+	for _, line := range []string{
+		fmt.Sprintf("pregel_messages_total %d", met.Messages),
+		fmt.Sprintf("pregel_supersteps_total %d", met.Supersteps),
+		fmt.Sprintf("pregel_bytes_local_total %d", met.BytesLocal),
+	} {
+		if !strings.Contains(doc, line) {
+			t.Errorf("/metrics document missing %q", line)
+		}
+	}
+
+	// The superstep trace covers every superstep and its message sum
+	// reproduces the counter.
+	steps := reg.Trace("pregel").Steps()
+	if len(steps) != met.Supersteps {
+		t.Fatalf("trace has %d rows, want %d", len(steps), met.Supersteps)
+	}
+	var traced int64
+	for _, s := range steps {
+		traced += s.Messages
+	}
+	if traced != met.Messages {
+		t.Errorf("trace messages sum to %d, metrics say %d", traced, met.Messages)
+	}
+}
+
+// TestObsBatchCounters: the DRL_b build path reports one batch per
+// span and accumulates engine counters across the per-batch runs.
+func TestObsBatchCounters(t *testing.T) {
+	g := randomDigraph(80, 240, 64)
+	ord := order.Compute(g)
+	spans, err := BatchSequence(g.NumVertices(), DefaultBatchParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.New()
+	_, met, err := BuildDistributedBatch(g, ord, DefaultBatchParams(), DistOptions{Workers: 3, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.CounterValue("drl_batches_total"); got != int64(len(spans)) {
+		t.Errorf("drl_batches_total = %d, want %d", got, len(spans))
+	}
+	if got := reg.CounterValue("pregel_messages_total"); got != met.Messages {
+		t.Errorf("pregel_messages_total = %d, metrics say %d", got, met.Messages)
+	}
+	if got := reg.CounterValue("pregel_supersteps_total"); got != int64(met.Supersteps) {
+		t.Errorf("pregel_supersteps_total = %d, metrics say %d", got, met.Supersteps)
+	}
+
+	// Shared-memory DRL_b^M reports the same batch structure plus its
+	// trimmed-BFS activity.
+	regM := obs.New()
+	if _, err := BuildBatch(g, ord, DefaultBatchParams(), Options{Workers: 4, Obs: regM}); err != nil {
+		t.Fatal(err)
+	}
+	if got := regM.CounterValue("drl_batches_total"); got != int64(len(spans)) {
+		t.Errorf("shared drl_batches_total = %d, want %d", got, len(spans))
+	}
+	nBFS := regM.CounterValue("drl_trimmed_bfs_total")
+	if nBFS <= 0 || nBFS > 2*int64(g.NumVertices()) {
+		t.Errorf("drl_trimmed_bfs_total = %d, want in (0, %d]", nBFS, 2*g.NumVertices())
+	}
+	if regM.CounterValue("drl_refine_rounds_total") != int64(len(spans)) {
+		t.Errorf("drl_refine_rounds_total = %d, want %d",
+			regM.CounterValue("drl_refine_rounds_total"), len(spans))
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/label"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/order"
 	"repro/internal/pregel"
 )
@@ -163,6 +164,9 @@ type ClusterOptions struct {
 	Dial pregel.Dialer
 	// Net charges simulated wire time for checkpoint traffic.
 	Net netsim.Model
+	// Obs receives master-side counters and the superstep trace
+	// (nil = off).
+	Obs *obs.Registry
 }
 
 func (o ClusterOptions) masterConfig() pregel.MasterConfig {
@@ -171,6 +175,7 @@ func (o ClusterOptions) masterConfig() pregel.MasterConfig {
 		CheckpointEvery: o.CheckpointEvery,
 		Dial:            o.Dial,
 		Net:             o.Net,
+		Obs:             o.Obs,
 	}
 }
 

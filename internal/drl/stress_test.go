@@ -1,0 +1,60 @@
+package drl
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/order"
+	"repro/internal/tol"
+)
+
+// TestSharedBatchRaceStress hammers the shared-memory parallel DRL_b^M
+// across worker counts and repetitions. Under -race this is the data
+// race detector's workout for parallelRanks and the per-worker scratch
+// tables; functionally every build must serialize byte-identically to
+// the serial TOL index (not just Equal — the exact on-disk artifact).
+func TestSharedBatchRaceStress(t *testing.T) {
+	g := randomDigraph(150, 600, 91)
+	ord := order.Compute(g)
+	want := tol.Build(g, ord)
+	var wantBytes bytes.Buffer
+	if _, err := want.WriteTo(&wantBytes); err != nil {
+		t.Fatal(err)
+	}
+	reps := 3
+	if testing.Short() {
+		reps = 1
+	}
+	for _, p := range []int{1, 2, 4, 8} {
+		for rep := 0; rep < reps; rep++ {
+			idx, err := BuildBatch(g, ord, DefaultBatchParams(), Options{Workers: p})
+			if err != nil {
+				t.Fatalf("p=%d rep=%d: %v", p, rep, err)
+			}
+			var got bytes.Buffer
+			if _, err := idx.WriteTo(&got); err != nil {
+				t.Fatalf("p=%d rep=%d: %v", p, rep, err)
+			}
+			if !bytes.Equal(wantBytes.Bytes(), got.Bytes()) {
+				t.Fatalf("p=%d rep=%d: index bytes differ from serial TOL", p, rep)
+			}
+		}
+	}
+}
+
+// TestImprovedRaceStress is the same workout for the improved method's
+// filter/refine phases.
+func TestImprovedRaceStress(t *testing.T) {
+	g := randomDigraph(120, 480, 92)
+	ord := order.Compute(g)
+	want := tol.Build(g, ord)
+	for _, p := range []int{1, 2, 4, 8} {
+		idx, err := BuildImproved(g, ord, Options{Workers: p})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if !want.Equal(idx) {
+			t.Fatalf("p=%d: index differs from TOL: %s", p, want.Diff(idx))
+		}
+	}
+}

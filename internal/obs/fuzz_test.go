@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzHistogram feeds arbitrary observation sequences to a histogram
+// and checks its structural invariants: the count matches the number
+// of observations, the bucket counts account for every observation,
+// quantiles are monotone in q, and every quantile is one of the
+// configured bounds.
+func FuzzHistogram(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+	f.Add([]byte{})
+	f.Add([]byte{255, 255, 255, 255, 255, 255, 255, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h := newHistogram([]float64{1e-6, 1e-3, 1, 1e3})
+		n := 0
+		for len(data) >= 8 {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(data[:8]))
+			data = data[8:]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			h.Observe(v)
+			n++
+		}
+		if got := h.Count(); got != int64(n) {
+			t.Fatalf("count = %d, want %d", got, n)
+		}
+		var bucketTotal int64
+		for i := range h.counts {
+			bucketTotal += h.counts[i].Load()
+		}
+		if bucketTotal != int64(n) {
+			t.Fatalf("buckets account for %d of %d observations", bucketTotal, n)
+		}
+		prev := math.Inf(-1)
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			qv := h.Quantile(q)
+			if qv < prev {
+				t.Fatalf("quantile not monotone: q=%g gave %g after %g", q, qv, prev)
+			}
+			prev = qv
+			if n == 0 {
+				if qv != 0 {
+					t.Fatalf("empty histogram quantile = %g", qv)
+				}
+				continue
+			}
+			found := false
+			for _, b := range h.bounds {
+				if qv == b {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("quantile %g is not a bucket bound", qv)
+			}
+		}
+	})
+}

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Mount registers the observability endpoints on mux:
+//
+//	GET /metrics       → Prometheus text exposition of r
+//	GET /trace         → JSON object {trace name: [StepTrace rows]}
+//	    /debug/pprof/* → net/http/pprof profiles
+//
+// Works with a nil registry (the endpoints serve empty documents).
+func Mount(mux *http.ServeMux, r *Registry) {
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(r.TraceSnapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// Handler returns a standalone http.Handler serving the Mount
+// endpoints — what drcluster and drworker bind to a side port.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	Mount(mux, r)
+	return mux
+}
+
+// TraceSnapshot copies every registered trace's retained rows, keyed
+// by trace name. The map is never nil.
+func (r *Registry) TraceSnapshot() map[string][]StepTrace {
+	out := map[string][]StepTrace{}
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	traces := make(map[string]*Trace, len(r.traces))
+	for name, t := range r.traces {
+		traces[name] = t
+	}
+	r.mu.Unlock()
+	for name, t := range traces {
+		out[name] = t.Steps()
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerEndpoints(t *testing.T) {
+	r := New()
+	r.Counter("pregel_messages_total").Add(99)
+	r.Trace("pregel").Record(StepTrace{Run: 1, Step: 0, Messages: 12,
+		Workers: []WorkerStep{{Worker: 0, Active: true}}})
+
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content-type %q", ct)
+	}
+	if !strings.Contains(string(body), "pregel_messages_total 99") {
+		t.Errorf("/metrics body:\n%s", body)
+	}
+
+	resp, err = http.Get(srv.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traces map[string][]StepTrace
+	if err := json.NewDecoder(resp.Body).Decode(&traces); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	rows := traces["pregel"]
+	if len(rows) != 1 || rows[0].Messages != 12 || len(rows[0].Workers) != 1 {
+		t.Errorf("/trace rows = %+v", rows)
+	}
+
+	resp, err = http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/ status %d", resp.StatusCode)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // Engine runs vertex-centric programs over a fixed worker set. The
@@ -18,6 +19,7 @@ type Engine struct {
 	cfg     Config
 	g       *graph.Digraph
 	workers []*Worker
+	runs    int // Run invocations, numbering trace rows across batches
 }
 
 // New creates an engine over g with cfg.Workers partitions.
@@ -49,6 +51,16 @@ func (e *Engine) Run(p Program) (Metrics, error) {
 	if maxSteps <= 0 {
 		maxSteps = 4*e.g.NumVertices() + 64
 	}
+	e.runs++
+	reg := e.cfg.Obs
+	trace := reg.Trace("pregel")
+	cSteps := reg.Counter("pregel_supersteps_total")
+	cMsgs := reg.Counter("pregel_messages_total")
+	cBytesLocal := reg.Counter("pregel_bytes_local_total")
+	cBytesRemote := reg.Counter("pregel_bytes_remote_total")
+	cBcastBytes := reg.Counter("pregel_bcast_bytes_total")
+	hStep := reg.Histogram("pregel_superstep_seconds", nil)
+	reg.Gauge("pregel_workers").Set(int64(len(e.workers)))
 	for step := 0; ; step++ {
 		if step > maxSteps {
 			return met, fmt.Errorf("pregel: no quiescence after %d supersteps", maxSteps)
@@ -98,20 +110,63 @@ func (e *Engine) Run(p Program) (Metrics, error) {
 		}
 		var slowest time.Duration
 		anyActive := false
+		nActive := 0
 		for i := range e.workers {
 			if durations[i] > slowest {
 				slowest = durations[i]
 			}
 			anyActive = anyActive || actives[i]
+			if actives[i] {
+				nActive++
+			}
 		}
 		met.ComputeTime += slowest
 		met.Supersteps++
 
+		// Per-superstep trace row: the inboxes still hold what this
+		// step consumed, and the exchange below tells us what it said.
+		var row obs.StepTrace
+		if trace != nil {
+			row = obs.StepTrace{
+				Run:           e.runs,
+				Step:          step,
+				ActiveWorkers: nActive,
+				ComputeNanos:  slowest.Nanoseconds(),
+				Workers:       make([]obs.WorkerStep, len(e.workers)),
+			}
+			for i, w := range e.workers {
+				row.Workers[i] = obs.WorkerStep{
+					Worker:       i,
+					ComputeNanos: durations[i].Nanoseconds(),
+					Active:       actives[i],
+					MsgsIn:       len(w.Inbox),
+				}
+			}
+		}
+		preMsgs, preLocal := met.Messages, met.BytesLocal
+		preRemote, preBcast := met.BytesRemote, met.BcastBytes
+
 		// Exchange phase.
 		exStart := time.Now()
 		delivered := e.exchange(&met)
-		met.CommTime += time.Since(exStart)
+		exDur := time.Since(exStart)
+		met.CommTime += exDur
 		met.SimNetTime += e.cfg.Net.ExchangeCost(stepRemoteBytes(&met), len(e.workers))
+
+		cSteps.Inc()
+		cMsgs.Add(met.Messages - preMsgs)
+		cBytesLocal.Add(met.BytesLocal - preLocal)
+		cBytesRemote.Add(met.BytesRemote - preRemote)
+		cBcastBytes.Add(met.BcastBytes - preBcast)
+		hStep.Observe((slowest + exDur).Seconds())
+		if trace != nil {
+			row.Messages = met.Messages - preMsgs
+			row.BytesLocal = met.BytesLocal - preLocal
+			row.BytesRemote = met.BytesRemote - preRemote
+			row.BcastBytes = met.BcastBytes - preBcast
+			row.WallNanos = (slowest + exDur).Nanoseconds()
+			trace.Record(row)
+		}
 
 		if !delivered && !anyActive {
 			break

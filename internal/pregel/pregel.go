@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 )
 
 // ErrCanceled is returned when a run is aborted through Config.Cancel.
@@ -55,6 +56,10 @@ type Config struct {
 	// bug). 0 means the default of 4·|V|+64, which suits the BFS-style
 	// programs; the token-passing DFS of BFL^D sets its own bound.
 	MaxSupersteps int
+	// Obs receives runtime counters ("pregel_*") and the per-superstep
+	// trace recorder named "pregel" (see internal/obs). nil disables
+	// observability at zero cost.
+	Obs *obs.Registry
 }
 
 // Program is a distributed vertex-centric computation. One Program

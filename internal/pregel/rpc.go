@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 )
 
 // RPC transport: the same vertex-centric programs running as genuinely
@@ -102,6 +103,9 @@ type StepReply struct {
 	Out          map[int][]byte // destination worker -> encoded messages
 	Bcasts       [][]byte
 	ComputeNanos int64
+	// MsgsOut is the number of messages the worker emitted this step,
+	// so the master's Metrics.Messages matches the in-process engine's.
+	MsgsOut int64
 }
 
 // CollectReply returns the worker's encoded results.
@@ -132,6 +136,7 @@ type WorkerServer struct {
 
 	stepCount int
 	stepHook  func(completedSteps int)
+	obs       *obs.Registry
 }
 
 // WorkerOptions tunes a worker service.
@@ -140,6 +145,9 @@ type WorkerOptions struct {
 	// superstep with the total count so far. cmd/drworker uses it to
 	// implement the -crash-after fault-injection flag.
 	StepHook func(completedSteps int)
+	// Obs receives the worker-side counters ("pregel_worker_*");
+	// cmd/drworker exposes it on a local /metrics port. nil disables.
+	Obs *obs.Registry
 }
 
 // NewWorkerServer returns an empty worker service; Init must be called
@@ -244,6 +252,7 @@ func (s *WorkerServer) Step(args StepArgs, reply *StepReply) error {
 		reply.Out[dst] = encodeMsgs(msgs)
 		w.outbox[dst] = msgs[:0]
 	}
+	reply.MsgsOut = w.msgsOut
 	w.msgsOut = 0
 	reply.Bcasts = w.bcast
 	w.bcast = nil
@@ -252,6 +261,10 @@ func (s *WorkerServer) Step(args StepArgs, reply *StepReply) error {
 	s.lastReply = *reply
 	s.haveReply = true
 	s.stepCount++
+	s.obs.Counter("pregel_worker_steps_total").Inc()
+	s.obs.Counter("pregel_worker_messages_out_total").Add(reply.MsgsOut)
+	s.obs.Histogram("pregel_worker_step_seconds", nil).
+		Observe(time.Duration(reply.ComputeNanos).Seconds())
 	if s.stepHook != nil {
 		s.stepHook(s.stepCount)
 	}
@@ -299,6 +312,7 @@ func ServeWorker(addr string, ready chan<- string) error {
 func ServeWorkerOpts(addr string, ready chan<- string, opts WorkerOptions) error {
 	ws := NewWorkerServer()
 	ws.stepHook = opts.StepHook
+	ws.obs = opts.Obs
 	srv := rpc.NewServer()
 	if err := srv.RegisterName(RPCServiceName, ws); err != nil {
 		return err
@@ -335,6 +349,11 @@ type MasterConfig struct {
 	// value: free network), mirroring how the in-process engine
 	// charges exchanges.
 	Net netsim.Model
+	// Obs receives the master-side counters ("pregel_*", including the
+	// fault-handling family) and the per-superstep trace recorder
+	// named "pregel" — the aggregation point for worker metrics, which
+	// arrive piggybacked on StepReply. nil disables observability.
+	Obs *obs.Registry
 }
 
 // checkpoint is one globally consistent barrier snapshot: the worker
@@ -470,6 +489,7 @@ func masterCall[T any](m *Master, i int, method string, args any) (*T, error) {
 		m.statsMu.Lock()
 		m.Metrics.Retries++
 		m.statsMu.Unlock()
+		m.cfg.Obs.Counter("pregel_retries_total").Inc()
 		if d := pol.backoff(attempt, m.rng, &m.rngMu); d > 0 {
 			time.Sleep(d)
 		}
@@ -515,6 +535,8 @@ func (m *Master) takeCheckpoint(step int, pending [][][]byte, bcasts [][]byte, f
 	m.Metrics.CheckpointBytes += bytes
 	m.Metrics.LastCheckpointStep = step
 	m.Metrics.SimNetTime += m.cfg.Net.CheckpointCost(bytes, p)
+	m.cfg.Obs.Counter("pregel_checkpoints_total").Inc()
+	m.cfg.Obs.Counter("pregel_checkpoint_bytes_total").Add(bytes)
 	return nil
 }
 
@@ -534,6 +556,7 @@ func (m *Master) recoverWorkers(failed []int, cause error) error {
 	m.statsMu.Lock()
 	m.Metrics.Recoveries++
 	m.statsMu.Unlock()
+	m.cfg.Obs.Counter("pregel_recoveries_total").Inc()
 
 	redialed := map[int]bool{}
 	for _, i := range failed {
@@ -657,10 +680,23 @@ func (m *Master) runAttempt(program string, params map[string]string, maxSteps i
 		}
 	}
 
+	reg := m.cfg.Obs
+	trace := reg.Trace("pregel")
+	cSteps := reg.Counter("pregel_supersteps_total")
+	cMsgs := reg.Counter("pregel_messages_total")
+	cBytesLocal := reg.Counter("pregel_bytes_local_total")
+	cBytesRemote := reg.Counter("pregel_bytes_remote_total")
+	cBcastBytes := reg.Counter("pregel_bcast_bytes_total")
+	hStep := reg.Histogram("pregel_superstep_seconds", nil)
+	reg.Gauge("pregel_workers").Set(int64(p))
+
 	for ; step < maxSteps; step++ {
 		replies := make([]*StepReply, p)
 		errs := make([]error, p)
 		var wg sync.WaitGroup
+		m.statsMu.Lock()
+		preRetries := m.Metrics.Retries
+		m.statsMu.Unlock()
 		exStart := time.Now()
 		for i := range m.transports {
 			wg.Add(1)
@@ -671,14 +707,34 @@ func (m *Master) runAttempt(program string, params map[string]string, maxSteps i
 			}(i)
 		}
 		wg.Wait()
+		stepWall := time.Since(exStart)
 		if err := mergeFailures(errs); err != nil {
 			return err
 		}
 		m.Metrics.Supersteps++
-		m.Metrics.CommTime += time.Since(exStart) // includes RPC transfer
+		m.Metrics.CommTime += stepWall // includes RPC transfer
 		var slowest time.Duration
 		anyActive := false
 		delivered := false
+		var row obs.StepTrace
+		if trace != nil {
+			row = obs.StepTrace{
+				Run:       m.runID,
+				Step:      step,
+				WallNanos: stepWall.Nanoseconds(),
+				Workers:   make([]obs.WorkerStep, p),
+			}
+			m.statsMu.Lock()
+			row.Retries = m.Metrics.Retries - preRetries
+			m.statsMu.Unlock()
+			for i := range pending {
+				var inBytes int
+				for _, buf := range pending[i] {
+					inBytes += len(buf)
+				}
+				row.Workers[i] = obs.WorkerStep{Worker: i, MsgsIn: inBytes / msgWireSize}
+			}
+		}
 		next := make([][][]byte, p)
 		bcasts = nil
 		for i, r := range replies {
@@ -686,6 +742,15 @@ func (m *Master) runAttempt(program string, params map[string]string, maxSteps i
 				slowest = d
 			}
 			anyActive = anyActive || r.Active
+			m.Metrics.Messages += r.MsgsOut
+			row.Messages += r.MsgsOut
+			if r.Active {
+				row.ActiveWorkers++
+			}
+			if trace != nil {
+				row.Workers[i].ComputeNanos = r.ComputeNanos
+				row.Workers[i].Active = r.Active
+			}
 			keys := make([]int, 0, len(r.Out))
 			for dst := range r.Out {
 				keys = append(keys, dst)
@@ -696,19 +761,33 @@ func (m *Master) runAttempt(program string, params map[string]string, maxSteps i
 				delivered = true
 				if dst == i {
 					m.Metrics.BytesLocal += int64(len(buf))
+					row.BytesLocal += int64(len(buf))
 				} else {
 					m.Metrics.BytesRemote += int64(len(buf))
+					row.BytesRemote += int64(len(buf))
 				}
 				next[dst] = append(next[dst], buf)
 			}
 			for _, b := range r.Bcasts {
 				bcasts = append(bcasts, b)
 				m.Metrics.BcastBytes += int64(len(b))
+				row.BcastBytes += int64(len(b))
 				m.Metrics.BytesRemote += int64(len(b)) * int64(p-1)
+				row.BytesRemote += int64(len(b)) * int64(p-1)
 			}
 		}
 		m.Metrics.ComputeTime += slowest
 		m.Metrics.CommTime -= slowest // Step RPC time included compute; keep the split honest
+		cSteps.Inc()
+		cMsgs.Add(row.Messages)
+		cBytesLocal.Add(row.BytesLocal)
+		cBytesRemote.Add(row.BytesRemote)
+		cBcastBytes.Add(row.BcastBytes)
+		hStep.Observe(stepWall.Seconds())
+		if trace != nil {
+			row.ComputeNanos = slowest.Nanoseconds()
+			trace.Record(row)
+		}
 		pending = next
 		if !delivered && len(bcasts) == 0 && !anyActive {
 			break

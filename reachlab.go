@@ -69,6 +69,9 @@ type Options struct {
 	// §II-C); this option quantifies the trade-off on centralized
 	// builds.
 	CondenseSCC bool
+	// Obs receives build-time counters and superstep traces; nil
+	// disables observability (see MetricsRegistry).
+	Obs *MetricsRegistry
 }
 
 func (o Options) method() Method {
@@ -165,19 +168,19 @@ func Build(ctx context.Context, g *Graph, opts Options) (*Index, error) {
 		idx, err = tol.BuildCancelable(gd, ord, cancel)
 	case MethodDRLShared:
 		idx, err = drl.BuildBatch(gd, ord, opts.batchParams(), drl.Options{
-			Workers: opts.workers(), Cancel: cancel,
+			Workers: opts.workers(), Cancel: cancel, Obs: opts.Obs,
 		})
 	case MethodDRL:
 		idx, met, err = drl.BuildDistributed(gd, ord, drl.DistOptions{
-			Workers: opts.workers(), Net: opts.net(), Cancel: cancel,
+			Workers: opts.workers(), Net: opts.net(), Cancel: cancel, Obs: opts.Obs,
 		})
 	case MethodDRLBasic:
 		idx, met, err = drl.BuildDistributedBasic(gd, ord, drl.DistOptions{
-			Workers: opts.workers(), Net: opts.net(), Cancel: cancel,
+			Workers: opts.workers(), Net: opts.net(), Cancel: cancel, Obs: opts.Obs,
 		})
 	case MethodDRLBatch:
 		idx, met, err = drl.BuildDistributedBatch(gd, ord, opts.batchParams(), drl.DistOptions{
-			Workers: opts.workers(), Net: opts.net(), Cancel: cancel,
+			Workers: opts.workers(), Net: opts.net(), Cancel: cancel, Obs: opts.Obs,
 		})
 	default:
 		return nil, fmt.Errorf("reachlab: unknown method %q", method)

@@ -3,8 +3,12 @@ package reachlab
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // QueryHandler serves reachability queries from an index over HTTP —
@@ -17,20 +21,36 @@ import (
 //	GET /reach?s=<id>&t=<id>   → {"s":3,"t":17,"reachable":true}
 //	GET /stats                 → index statistics
 //	GET /healthz               → 200 ok
+//	GET /metrics               → Prometheus text exposition
+//	GET /trace                 → superstep traces (JSON)
+//	GET /debug/pprof/          → net/http/pprof profiles
+//
+// Per-query latency lands in the "reachlab_query_seconds" histogram;
+// requests and errors are counted per handler in
+// "reachlab_http_requests_total" / "reachlab_http_errors_total".
 type QueryHandler struct {
 	idx *Index
 	mux *http.ServeMux
+	obs *obs.Registry
 }
 
-// NewQueryHandler returns an http.Handler serving queries from idx.
+// NewQueryHandler returns an http.Handler serving queries from idx,
+// reporting to the process-wide default registry.
 func NewQueryHandler(idx *Index) *QueryHandler {
-	h := &QueryHandler{idx: idx, mux: http.NewServeMux()}
+	return NewQueryHandlerObs(idx, obs.Default)
+}
+
+// NewQueryHandlerObs is NewQueryHandler reporting to reg (nil disables
+// instrumentation; /metrics and /trace then serve empty documents).
+func NewQueryHandlerObs(idx *Index, reg *obs.Registry) *QueryHandler {
+	h := &QueryHandler{idx: idx, mux: http.NewServeMux(), obs: reg}
 	h.mux.HandleFunc("GET /reach", h.reach)
 	h.mux.HandleFunc("GET /stats", h.stats)
 	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+	obs.Mount(h.mux, reg)
 	return h
 }
 
@@ -54,25 +74,37 @@ func (h *QueryHandler) vertex(r *http.Request, name string) (VertexID, error) {
 	return VertexID(v), nil
 }
 
+// fail records an error for the handler and sends the HTTP error.
+func (h *QueryHandler) fail(w http.ResponseWriter, handler, msg string, code int) {
+	h.obs.Counter(obs.Label("reachlab_http_errors_total", "handler", handler)).Inc()
+	http.Error(w, msg, code)
+}
+
 func (h *QueryHandler) reach(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	h.obs.Counter(obs.Label("reachlab_http_requests_total", "handler", "reach")).Inc()
 	s, err := h.vertex(r, "s")
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		h.fail(w, "reach", err.Error(), http.StatusBadRequest)
 		return
 	}
 	t, err := h.vertex(r, "t")
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		h.fail(w, "reach", err.Error(), http.StatusBadRequest)
 		return
 	}
+	reachable := h.idx.Reachable(s, t)
+	h.obs.Histogram("reachlab_query_seconds", obs.LatencyBuckets).
+		Observe(time.Since(start).Seconds())
 	writeJSON(w, map[string]any{
 		"s":         s,
 		"t":         t,
-		"reachable": h.idx.Reachable(s, t),
+		"reachable": reachable,
 	})
 }
 
 func (h *QueryHandler) stats(w http.ResponseWriter, _ *http.Request) {
+	h.obs.Counter(obs.Label("reachlab_http_requests_total", "handler", "stats")).Inc()
 	st := h.idx.Stats()
 	bs := h.idx.BuildStats()
 	writeJSON(w, map[string]any{
@@ -95,9 +127,13 @@ func (h *QueryHandler) stats(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// writeJSON encodes v directly onto the wire. If encoding fails the
+// status line and part of the body are already out, so sending
+// http.Error would splice an error page into a half-written JSON
+// document; log the failure and drop the connection output instead.
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		log.Printf("reachlab: writing JSON response: %v", err)
 	}
 }

@@ -1,11 +1,16 @@
 package reachlab
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -173,6 +178,177 @@ func TestStatsExposeFaultCounters(t *testing.T) {
 	}
 	if stats.Build.Checkpoints == 0 || stats.Build.LastCheckpointStep == 0 {
 		t.Errorf("expected checkpoint activity in /stats: %+v", stats.Build)
+	}
+}
+
+// TestMetricsEndpoint drives a build and queries through one registry
+// and checks the /metrics document: the build counters must equal the
+// BuildStats numbers exactly, and the HTTP counters must reflect the
+// requests just made.
+func TestMetricsEndpoint(t *testing.T) {
+	reg := NewMetricsRegistry()
+	g := NewGraph(11, testEdges())
+	idx, err := Build(context.Background(), g, Options{Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewQueryHandlerObs(idx, reg))
+	defer srv.Close()
+
+	// One good query, one rejected query, one stats call.
+	for _, url := range []string{"/reach?s=1&t=6", "/reach?s=99&t=2", "/stats"} {
+		resp, err := http.Get(srv.URL + url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics Content-Type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(raw)
+
+	bs := idx.BuildStats()
+	for _, line := range []string{
+		fmt.Sprintf("pregel_messages_total %d", bs.Messages),
+		fmt.Sprintf("pregel_supersteps_total %d", bs.Supersteps),
+		`reachlab_http_requests_total{handler="reach"} 2`,
+		`reachlab_http_errors_total{handler="reach"} 1`,
+		`reachlab_http_requests_total{handler="stats"} 1`,
+		"reachlab_query_seconds_count 1",
+	} {
+		if !strings.Contains(doc, line) {
+			t.Errorf("/metrics missing %q\n--- document:\n%s", line, doc)
+		}
+	}
+}
+
+// TestTraceEndpoint: the superstep trace collected during the build is
+// served as JSON and covers every superstep.
+func TestTraceEndpoint(t *testing.T) {
+	reg := NewMetricsRegistry()
+	g := NewGraph(11, testEdges())
+	idx, err := Build(context.Background(), g, Options{Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewQueryHandlerObs(idx, reg))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traces map[string][]struct {
+		Step     int   `json:"step"`
+		Messages int64 `json:"messages"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&traces); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	steps := traces["pregel"]
+	if len(steps) != idx.BuildStats().Supersteps {
+		t.Fatalf("trace has %d rows, build ran %d supersteps", len(steps), idx.BuildStats().Supersteps)
+	}
+	var msgs int64
+	for _, s := range steps {
+		msgs += s.Messages
+	}
+	if msgs != idx.BuildStats().Messages {
+		t.Errorf("trace messages sum to %d, BuildStats says %d", msgs, idx.BuildStats().Messages)
+	}
+}
+
+// TestStatsDiskLoadedIndex: an index loaded from disk carries no build
+// record; /stats must serve zeros rather than stale or garbage values.
+func TestStatsDiskLoadedIndex(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := testIndex(t).WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewQueryHandlerObs(loaded, NewMetricsRegistry()))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Vertices int `json:"vertices"`
+		Build    struct {
+			Method     string `json:"method"`
+			Workers    int    `json:"workers"`
+			Supersteps int    `json:"supersteps"`
+		} `json:"build"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Vertices != 11 {
+		t.Errorf("vertices = %d, want 11", stats.Vertices)
+	}
+	if stats.Build.Method != "" || stats.Build.Workers != 0 || stats.Build.Supersteps != 0 {
+		t.Errorf("disk-loaded index should report a zero build record, got %+v", stats.Build)
+	}
+	// Queries still work without a build record.
+	resp, err = http.Get(srv.URL + "/reach?s=1&t=6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("reach on disk-loaded index: status %d", resp.StatusCode)
+	}
+}
+
+// failingWriter reports a write error on the first body write, the way
+// a closed client connection does.
+type failingWriter struct {
+	header http.Header
+	code   int
+}
+
+func (w *failingWriter) Header() http.Header { return w.header }
+
+func (w *failingWriter) WriteHeader(code int) { w.code = code }
+
+func (w *failingWriter) Write([]byte) (int, error) {
+	return 0, errors.New("connection reset")
+}
+
+// TestWriteJSONFailure: when the encoder fails mid-stream the handler
+// must not splice an http.Error page into the half-written response —
+// it logs and drops. No status may be forced after the fact.
+func TestWriteJSONFailure(t *testing.T) {
+	w := &failingWriter{header: make(http.Header)}
+	writeJSON(w, map[string]any{"k": "v"})
+	if w.code != 0 {
+		t.Errorf("writeJSON forced status %d after a mid-stream failure", w.code)
+	}
+
+	// An unencodable value likewise produces no error page: the
+	// recorder's body stays empty and the implicit 200 stands.
+	rec := httptest.NewRecorder()
+	writeJSON(rec, map[string]any{"fn": func() {}})
+	if rec.Body.Len() != 0 {
+		t.Errorf("writeJSON wrote %q after an encode failure", rec.Body.String())
+	}
+	if rec.Code != http.StatusOK {
+		t.Errorf("writeJSON set status %d, want untouched 200", rec.Code)
 	}
 }
 
