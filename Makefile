@@ -1,21 +1,34 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet check cover bench bench-smoke tools examples experiments clean
+.PHONY: all build test vet lint invariants check cover bench bench-smoke tools examples experiments clean
 
 all: build vet test
 
-# What CI runs: vet, build, and the full test suite under the race
-# detector (the RPC fault-handling tests are concurrency-heavy).
+# What CI runs: vet, build, the project analyzers, the full test suite
+# under the race detector (the RPC fault-handling tests are
+# concurrency-heavy), and the suite again with runtime invariants
+# compiled in.
 check:
 	go vet ./...
 	go build ./...
+	go run ./cmd/drlint ./...
 	go test -race ./...
+	go test -tags=invariants ./...
 
 build:
 	go build ./...
 
 vet:
 	go vet ./...
+
+# Project-specific analyzers (internal/lint) guarding the determinism
+# contract: mapdet, lockheld, errsink, atomichygiene.
+lint:
+	go run ./cmd/drlint ./...
+
+# Full suite with the build-tagged runtime invariants compiled in.
+invariants:
+	go test -tags=invariants ./...
 
 test:
 	go test ./...

@@ -66,7 +66,7 @@ func PrintAblationOrder(w io.Writer, rows []AblationOrderRow) {
 			mb(row.Result.Bytes, row.Result.INF()),
 			entries)
 	}
-	tw.Flush()
+	flushTab(tw)
 }
 
 // AblationCondenseRow compares raw-graph labeling against labeling
@@ -124,5 +124,5 @@ func PrintAblationCondense(w io.Writer, rows []AblationCondenseRow) {
 			mb(row.Raw.Bytes, row.Raw.INF()),
 			mb(row.Condensed.Bytes, row.Condensed.INF()))
 	}
-	tw.Flush()
+	flushTab(tw)
 }

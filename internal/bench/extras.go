@@ -101,5 +101,5 @@ func PrintExtras(w io.Writer, rows []ExtrasRow) {
 			sci(r.BFLQuery, r.BFLQuery == 0),
 			sci(r.TOLQuery, r.TOLQuery == 0))
 	}
-	tw.Flush()
+	flushTab(tw)
 }

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"log"
 	"strings"
 	"text/tabwriter"
 	"time"
@@ -12,6 +13,15 @@ import (
 
 func newTab(w io.Writer) *tabwriter.Writer {
 	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+// flushTab flushes a report table. The printers have no error channel
+// — reports are best-effort console output — but a failing underlying
+// writer must not vanish silently (errsink), so it is logged.
+func flushTab(tw *tabwriter.Writer) {
+	if err := tw.Flush(); err != nil {
+		log.Printf("bench: flushing table: %v", err)
+	}
 }
 
 func secs(d time.Duration, inf bool) string {
@@ -44,7 +54,7 @@ func PrintTable5(w io.Writer, rows []Table5Row) {
 			r.Dataset.Name, r.Dataset.Paper, r.Stats.Vertices, r.Stats.Edges,
 			r.Dataset.Params.Family, r.Stats.Components, r.Stats.LargestSCC, r.Stats.Acyclic)
 	}
-	tw.Flush()
+	flushTab(tw)
 }
 
 // PrintTable6 renders the competitor comparison in the paper's three
@@ -80,7 +90,7 @@ func PrintTable6(w io.Writer, rows []Table6Row) {
 			sci(r.QueryBFLD, r.BFLD.Index == nil),
 			idx, idx, idx)
 	}
-	tw.Flush()
+	flushTab(tw)
 }
 
 // PrintFig5 renders the communication/computation split.
@@ -97,7 +107,7 @@ func PrintFig5(w io.Writer, rows []Fig5Row) {
 				r.Dataset, e.Algo, e.Comp.Seconds(), e.Comm.Seconds(), e.Total.Seconds())
 		}
 	}
-	tw.Flush()
+	flushTab(tw)
 }
 
 // PrintFig6 renders speedup ratios per worker count.
@@ -121,7 +131,7 @@ func PrintFig6(w io.Writer, rows []Fig6Row) {
 		}
 		fmt.Fprintln(tw, strings.Join(cols, "\t"))
 	}
-	tw.Flush()
+	flushTab(tw)
 }
 
 // PrintFig7 renders index time against edge-prefix fraction.
@@ -141,7 +151,7 @@ func PrintFig7(w io.Writer, rows []Fig7Row) {
 		}
 		fmt.Fprintln(tw, strings.Join(cols, "\t"))
 	}
-	tw.Flush()
+	flushTab(tw)
 }
 
 // PrintFig8 renders index time against the initial batch size b.
@@ -161,7 +171,7 @@ func PrintFig8(w io.Writer, rows []Fig8Row) {
 		}
 		fmt.Fprintln(tw, strings.Join(cols, "\t"))
 	}
-	tw.Flush()
+	flushTab(tw)
 }
 
 // PrintFig9 renders index time against the increment factor k.
@@ -181,5 +191,5 @@ func PrintFig9(w io.Writer, rows []Fig9Row) {
 		}
 		fmt.Fprintln(tw, strings.Join(cols, "\t"))
 	}
-	tw.Flush()
+	flushTab(tw)
 }

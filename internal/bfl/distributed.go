@@ -269,6 +269,7 @@ func (p *lblProgram) Superstep(w *pregel.Worker, step int) (bool, error) {
 		lab := local.lab[v]
 		for word := range words {
 			for _, nb := range w.Graph.InNeighbors(v) {
+				//lint:ignore mapdet BFL is randomized by design: label words merge by commutative OR, so emission order cannot change the index
 				w.Send(pregel.Msg{Dst: nb, Kind: lblWord, Val: word, Val2: int32(lab[word])})
 			}
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/invariant"
 	"repro/internal/label"
 	"repro/internal/obs"
 	"repro/internal/order"
@@ -182,6 +183,11 @@ func BuildBatch(g *graph.Digraph, ord *order.Ordering, bp BatchParams, opt Optio
 					out[w] = append(out[w], rv)
 				}
 			}
+			// The refine merge relies on every batch's ranks exceeding
+			// the previous batch's — that is what lets the lists skip a
+			// final sort and still match TOL byte for byte.
+			invariant.StrictlyIncreasing("drl: L_in after refine merge", in[w])
+			invariant.StrictlyIncreasing("drl: L_out after refine merge", out[w])
 		})
 		if err != nil {
 			return nil, err

@@ -188,14 +188,19 @@ func (p *basicPhaseB) Superstep(w *pregel.Worker, step int) (bool, error) {
 	ord := p.shared.ord
 	if step == 0 {
 		// Broadcast the assembled hig lists and seed the DES floods.
+		// Iterate in sorted vertex order so the broadcast bytes and the
+		// outbox message order are run-independent (mapdet): the
+		// elimination result is a set and would survive reordering, but
+		// deterministic wire traffic is what keeps checkpoints and
+		// fault-injection replays byte-stable.
 		var blobF, blobB []byte
-		for v, hig := range local.higFwd {
-			for _, r := range hig {
+		for _, v := range sortedVertices(local.higFwd) {
+			for _, r := range local.higFwd[v] {
 				blobF = appendPair(blobF, v, r)
 			}
 		}
-		for v, hig := range local.higBwd {
-			for _, r := range hig {
+		for _, v := range sortedVertices(local.higBwd) {
+			for _, r := range local.higBwd[v] {
 				blobB = appendPair(blobB, v, r)
 			}
 		}
@@ -205,14 +210,14 @@ func (p *basicPhaseB) Superstep(w *pregel.Worker, step int) (bool, error) {
 		if len(blobB) > 0 {
 			w.Broadcast(append([]byte{kindHigBwd}, blobB...))
 		}
-		for u := range local.elimFwd {
+		for _, u := range sortedVertices(local.elimFwd) {
 			r := ord.RankOf(u)
 			local.desSeen[seenKey(kindFwd, u, r)] = struct{}{}
 			for _, nb := range w.Graph.OutNeighbors(u) {
 				w.Send(pregel.Msg{Dst: nb, Kind: kindFwd, Val: int32(r)})
 			}
 		}
-		for u := range local.elimBwd {
+		for _, u := range sortedVertices(local.elimBwd) {
 			r := ord.RankOf(u)
 			local.desSeen[seenKey(kindBwd, u, r)] = struct{}{}
 			for _, nb := range w.Graph.InNeighbors(u) {

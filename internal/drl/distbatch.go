@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/invariant"
 	"repro/internal/label"
 	"repro/internal/obs"
 	"repro/internal/order"
@@ -243,6 +244,9 @@ func (p *batchProgram) Finish(w *pregel.Worker) error {
 		}
 		sort.Slice(keep, func(i, j int) bool { return keep[i] < keep[j] })
 		local.in[v] = append(local.in[v], keep...)
+		// Appending a sorted batch of fresh (higher) ranks must keep the
+		// accumulated list strictly increasing (Algorithm 4 line 14).
+		invariant.StrictlyIncreasing("drl: accumulated L_in after batch merge", local.in[v])
 	}
 	for v, list := range local.listBwd {
 		keep := make([]order.Rank, 0, len(list))
@@ -253,6 +257,7 @@ func (p *batchProgram) Finish(w *pregel.Worker) error {
 		}
 		sort.Slice(keep, func(i, j int) bool { return keep[i] < keep[j] })
 		local.out[v] = append(local.out[v], keep...)
+		invariant.StrictlyIncreasing("drl: accumulated L_out after batch merge", local.out[v])
 	}
 	return nil
 }

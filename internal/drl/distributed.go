@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/invariant"
 	"repro/internal/label"
 	"repro/internal/netsim"
 	"repro/internal/obs"
@@ -69,6 +70,18 @@ func stepCanceled(i int, cancel <-chan struct{}) bool {
 	default:
 		return false
 	}
+}
+
+// sortedVertices returns m's keys in increasing vertex order, the
+// deterministic iteration order every broadcast- or message-emitting
+// loop must use (mapdet).
+func sortedVertices[V any](m map[graph.VertexID]V) []graph.VertexID {
+	keys := make([]graph.VertexID, 0, len(m))
+	for v := range m {
+		keys = append(keys, v)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
 }
 
 // distLocal is one worker's private state: visited status and visitor
@@ -237,6 +250,9 @@ func (p *distProgram) Finish(w *pregel.Worker) error {
 			}
 		}
 		sort.Slice(keep, func(i, j int) bool { return keep[i] < keep[j] })
+		// Visit events are seen-guarded, so the cleaned list is a sorted
+		// set — the exact shape label.FromLists requires.
+		invariant.StrictlyIncreasing("drl: cleaned L_in", keep)
 		local.resIn[v] = keep
 	}
 	for v, list := range local.listBwd {
@@ -247,6 +263,7 @@ func (p *distProgram) Finish(w *pregel.Worker) error {
 			}
 		}
 		sort.Slice(keep, func(i, j int) bool { return keep[i] < keep[j] })
+		invariant.StrictlyIncreasing("drl: cleaned L_out", keep)
 		local.resOut[v] = keep
 	}
 	return nil

@@ -1,0 +1,16 @@
+// Package invariant provides runtime assertions that compile to no-ops
+// unless the build carries -tags=invariants.
+//
+// The determinism contract (Theorems 2–4: the distributed build's index
+// is byte-identical to serial TOL's) rests on a handful of structural
+// properties that no Go type can express: label lists stay strictly
+// increasing in rank, message buffers stay aligned to the wire record,
+// checkpoint sections encode sorted key sets. The drlint analyzers
+// (internal/lint) catch the static hazard patterns; this package is the
+// dynamic complement — the properties are asserted in the hot paths
+// themselves, and CI runs the full test suite once with the tag on
+// (go test -tags=invariants ./...) so every exercised path checks them.
+//
+// Without the tag every function here has an empty body that the
+// compiler inlines away, so production builds pay nothing.
+package invariant

@@ -1,0 +1,21 @@
+//go:build !invariants
+
+package invariant
+
+import "cmp"
+
+// Enabled reports whether the invariants build tag is on, for callers
+// that want to gate expensive check preparation.
+const Enabled = false
+
+// Assert is a no-op without the invariants tag.
+func Assert(cond bool, format string, args ...any) {}
+
+// Sorted is a no-op without the invariants tag.
+func Sorted[T cmp.Ordered](what string, xs []T) {}
+
+// StrictlyIncreasing is a no-op without the invariants tag.
+func StrictlyIncreasing[T cmp.Ordered](what string, xs []T) {}
+
+// NoDup is a no-op without the invariants tag.
+func NoDup[T comparable](what string, xs []T) {}

@@ -1,0 +1,49 @@
+//go:build invariants
+
+package invariant
+
+import (
+	"cmp"
+	"fmt"
+)
+
+// Enabled reports whether the invariants build tag is on, for callers
+// that want to gate expensive check preparation.
+const Enabled = true
+
+// Assert panics with the formatted message when cond is false.
+func Assert(cond bool, format string, args ...any) {
+	if !cond {
+		panic("invariant violated: " + fmt.Sprintf(format, args...))
+	}
+}
+
+// Sorted panics unless xs is in non-decreasing order.
+func Sorted[T cmp.Ordered](what string, xs []T) {
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[i-1] {
+			panic(fmt.Sprintf("invariant violated: %s: not sorted at index %d: %v after %v", what, i, xs[i], xs[i-1]))
+		}
+	}
+}
+
+// StrictlyIncreasing panics unless xs is strictly increasing — the
+// shape of every label list: a sorted set of ranks with no repeats.
+func StrictlyIncreasing[T cmp.Ordered](what string, xs []T) {
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			panic(fmt.Sprintf("invariant violated: %s: not strictly increasing at index %d: %v after %v", what, i, xs[i], xs[i-1]))
+		}
+	}
+}
+
+// NoDup panics when xs contains a repeated element.
+func NoDup[T comparable](what string, xs []T) {
+	seen := make(map[T]struct{}, len(xs))
+	for i, x := range xs {
+		if _, dup := seen[x]; dup {
+			panic(fmt.Sprintf("invariant violated: %s: duplicate element %v at index %d", what, x, i))
+		}
+		seen[x] = struct{}{}
+	}
+}

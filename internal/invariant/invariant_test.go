@@ -1,0 +1,55 @@
+package invariant
+
+import "testing"
+
+// The same test binary behaves differently under the two build modes:
+// with -tags=invariants every violated check must panic, without it
+// every call must be a no-op. Enabled tells the test which contract to
+// hold the package to, so `go test ./...` and
+// `go test -tags=invariants ./...` both exercise their own mode.
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if r := recover(); (r != nil) != Enabled {
+			if Enabled {
+				t.Errorf("%s: violated check did not panic with invariants on", name)
+			} else {
+				t.Errorf("%s: panicked with invariants off: %v", name, r)
+			}
+		}
+	}()
+	f()
+}
+
+func mustNotPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Errorf("%s: satisfied check panicked: %v", name, r)
+		}
+	}()
+	f()
+}
+
+func TestAssert(t *testing.T) {
+	mustNotPanic(t, "Assert(true)", func() { Assert(true, "unreachable") })
+	mustPanic(t, "Assert(false)", func() { Assert(false, "n=%d", 7) })
+}
+
+func TestSorted(t *testing.T) {
+	mustNotPanic(t, "Sorted ok", func() { Sorted("xs", []int{1, 2, 2, 5}) })
+	mustNotPanic(t, "Sorted empty", func() { Sorted("xs", []int(nil)) })
+	mustPanic(t, "Sorted bad", func() { Sorted("xs", []int{3, 1}) })
+}
+
+func TestStrictlyIncreasing(t *testing.T) {
+	mustNotPanic(t, "StrictlyIncreasing ok", func() { StrictlyIncreasing("xs", []uint32{1, 2, 5}) })
+	mustPanic(t, "StrictlyIncreasing dup", func() { StrictlyIncreasing("xs", []uint32{1, 2, 2}) })
+	mustPanic(t, "StrictlyIncreasing bad", func() { StrictlyIncreasing("xs", []uint32{2, 1}) })
+}
+
+func TestNoDup(t *testing.T) {
+	mustNotPanic(t, "NoDup ok", func() { NoDup("xs", []string{"a", "b"}) })
+	mustPanic(t, "NoDup dup", func() { NoDup("xs", []string{"a", "b", "a"}) })
+}

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/invariant"
 	"repro/internal/order"
 )
 
@@ -48,6 +49,10 @@ func (b *Builder) Finalize() *Index {
 	for v := 0; v < b.n; v++ {
 		sortRanks(b.in[v])
 		sortRanks(b.out[v])
+		// Builder tolerates duplicate Add calls (the merge in Reachable
+		// handles repeats), so only sortedness is promised here.
+		invariant.Sorted("label: L_in after Finalize sort", b.in[v])
+		invariant.Sorted("label: L_out after Finalize sort", b.out[v])
 		x.inLab = append(x.inLab, b.in[v]...)
 		x.outLab = append(x.outLab, b.out[v]...)
 		x.inOff[v+1] = int64(len(x.inLab))
@@ -64,8 +69,9 @@ func sortRanks(rs []order.Rank) {
 }
 
 // FromLists assembles an Index directly from per-vertex label lists.
-// Each list must already be sorted by rank (TOL emits labels in round
-// order, which is rank order). The lists are copied, not aliased.
+// Each list must be a strictly increasing rank sequence — a sorted
+// label *set* (TOL emits labels in round order, which is rank order,
+// and never labels a vertex twice). The lists are copied, not aliased.
 func FromLists(ord *order.Ordering, in, out [][]order.Rank) *Index {
 	n := ord.N()
 	x := &Index{
@@ -82,6 +88,8 @@ func FromLists(ord *order.Ordering, in, out [][]order.Rank) *Index {
 	x.inLab = make([]order.Rank, 0, inTotal)
 	x.outLab = make([]order.Rank, 0, outTotal)
 	for v := 0; v < n; v++ {
+		invariant.StrictlyIncreasing("label: FromLists in-list", in[v])
+		invariant.StrictlyIncreasing("label: FromLists out-list", out[v])
 		x.inLab = append(x.inLab, in[v]...)
 		x.outLab = append(x.outLab, out[v]...)
 		x.inOff[v+1] = int64(len(x.inLab))

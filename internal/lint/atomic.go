@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicHygiene flags a variable or struct field that is accessed
+// through sync/atomic in one place and by a plain read or write in
+// another, within the same package. Mixing the two races: the plain
+// access is invisible to the atomic one, and the race detector only
+// catches it when both paths actually interleave under test. The
+// internal/obs counters avoid the hazard by construction
+// (atomic.Int64 has no plain access path); this analyzer guards every
+// site that still uses the function-style API on an ordinary field.
+var AtomicHygiene = &Analyzer{
+	Name: "atomichygiene",
+	Doc:  "variable accessed both via sync/atomic and by plain read/write",
+	Run:  runAtomicHygiene,
+}
+
+var atomicFuncs = map[string]bool{
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true, "AddUintptr": true,
+	"LoadInt32": true, "LoadInt64": true, "LoadUint32": true, "LoadUint64": true, "LoadUintptr": true, "LoadPointer": true,
+	"StoreInt32": true, "StoreInt64": true, "StoreUint32": true, "StoreUint64": true, "StoreUintptr": true, "StorePointer": true,
+	"SwapInt32": true, "SwapInt64": true, "SwapUint32": true, "SwapUint64": true, "SwapUintptr": true, "SwapPointer": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapInt64": true, "CompareAndSwapUint32": true,
+	"CompareAndSwapUint64": true, "CompareAndSwapUintptr": true, "CompareAndSwapPointer": true,
+}
+
+func runAtomicHygiene(pass *Pass) error {
+	// Pass 1: every object whose address feeds a sync/atomic call, with
+	// the identifiers participating in those calls (excluded from pass 2).
+	atomicObjs := map[types.Object]ast.Node{} // object -> one atomic call site
+	atomicUses := map[*ast.Ident]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, ok := pkgFuncName(pass.Info, call)
+			if !ok || pkg != "sync/atomic" || !atomicFuncs[name] || len(call.Args) == 0 {
+				return true
+			}
+			addr, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok {
+				return true
+			}
+			obj, ids := addressedObject(pass, addr.X)
+			if obj == nil {
+				return true
+			}
+			atomicObjs[obj] = call
+			for _, id := range ids {
+				atomicUses[id] = true
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return nil
+	}
+
+	// Pass 2: any other mention of those objects is a plain access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || atomicUses[id] {
+				return true
+			}
+			obj := pass.ObjectOf(id)
+			if obj == nil {
+				return true
+			}
+			if site, tracked := atomicObjs[obj]; tracked && id.Pos() != obj.Pos() {
+				where := pass.Fset.Position(site.Pos())
+				pass.Reportf(id.Pos(), "%q is accessed with sync/atomic at %s:%d but plainly here: every access must go through sync/atomic", id.Name, where.Filename, where.Line)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// addressedObject resolves the variable or field object named by the
+// operand of a unary & expression (x, s.f, s.f[i] is rejected), and
+// returns the identifiers that make up the reference.
+func addressedObject(pass *Pass, e ast.Expr) (types.Object, []*ast.Ident) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return pass.ObjectOf(x), []*ast.Ident{x}
+	case *ast.SelectorExpr:
+		obj := pass.ObjectOf(x.Sel)
+		if obj == nil {
+			return nil, nil
+		}
+		var ids []*ast.Ident
+		ast.Inspect(x, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				ids = append(ids, id)
+			}
+			return true
+		})
+		return obj, ids
+	case *ast.ParenExpr:
+		return addressedObject(pass, x.X)
+	}
+	return nil, nil
+}

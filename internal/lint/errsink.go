@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// ErrSink flags discarded errors from Write/Encode/Flush-family calls:
+// an expression statement that invokes a method returning an error and
+// drops it on the floor. The serialization paths (snapshot codecs,
+// result blobs, the Prometheus exposition writer) and the HTTP
+// handlers are exactly where a swallowed short write corrupts an index
+// or silently truncates a response. An explicit `_ =` assignment is
+// treated as a deliberate, reviewed discard and left alone.
+var ErrSink = &Analyzer{
+	Name: "errsink",
+	Doc:  "discarded error from a Write/Encode/Flush call",
+	Run:  runErrSink,
+}
+
+var errSinkMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"WriteTo": true, "Encode": true, "Flush": true, "Close": false, // Close is errcheck territory, not serialization
+}
+
+func runErrSink(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := st.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !errSinkMethods[sel.Sel.Name] || isPackageQualifier(pass, sel.X) {
+				return true
+			}
+			yes, unknown := returnsError(pass.Info, call)
+			if !yes && !unknown {
+				return true // method genuinely returns no error
+			}
+			pass.Reportf(st.Pos(), "error from %s.%s is discarded: handle it or assign to _ with a reason", exprStringOr(sel.X, "receiver"), sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,259 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked compilation unit: the
+// ordinary files of a directory plus its in-package test files, or an
+// external _test package as a separate unit.
+type Package struct {
+	Dir     string
+	PkgPath string // import path ("repro/internal/drl"), "_test"-suffixed for external test packages
+	Name    string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+	// TypeErrors holds non-fatal type-check problems. Analysis runs on
+	// whatever information was recovered, but the driver surfaces them
+	// so a broken tree is never silently "clean".
+	TypeErrors []error
+}
+
+// Loader parses and type-checks packages. Module-internal imports are
+// resolved from source through the standard library's source importer,
+// which requires the process working directory to be inside the
+// module (cmd/drlint chdirs to the module root).
+type Loader struct {
+	fset *token.FileSet
+	imp  types.Importer
+	ctxt build.Context
+}
+
+// NewLoader returns a loader with a fresh file set and source
+// importer. One loader caches type-checked imports across LoadDir
+// calls, so loading the whole module pays for each dependency once.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		fset: fset,
+		imp:  importer.ForCompiler(fset, "source", nil),
+		ctxt: build.Default,
+	}
+}
+
+// Fset returns the loader's file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// ModuleRoot walks up from dir to the directory containing go.mod.
+func ModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// ModulePath reads the module path from root's go.mod.
+func ModulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s/go.mod", root)
+}
+
+// ExpandPatterns resolves package patterns relative to the module
+// root into package directories. Supported forms: "./...", "dir/...",
+// and plain directory paths. Directories named testdata, hidden
+// directories, and directories without buildable .go files are
+// skipped.
+func ExpandPatterns(root string, patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		rec := false
+		if strings.HasSuffix(pat, "/...") {
+			rec = true
+			pat = strings.TrimSuffix(pat, "/...")
+		}
+		if pat == "." || pat == "" {
+			pat = root
+		} else if !filepath.IsAbs(pat) {
+			pat = filepath.Join(root, pat)
+		}
+		if !rec {
+			if hasGoFiles(pat) {
+				add(pat)
+			}
+			continue
+		}
+		err := filepath.WalkDir(pat, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != pat && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// LoadDir parses and type-checks the packages in one directory:
+// the primary package (ordinary + in-package test files) and, when
+// present, the external _test package. Files excluded by build
+// constraints for the default configuration (e.g. the invariants tag)
+// are skipped, matching what `go build` would compile.
+func (l *Loader) LoadDir(dir, pkgPath string) ([]*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	byPkg := map[string][]*ast.File{}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if ok, err := l.ctxt.MatchFile(dir, name); err != nil || !ok {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		byPkg[f.Name.Name] = append(byPkg[f.Name.Name], f)
+	}
+	// In-package test files join their package's unit; the _test
+	// package (if any) stands alone.
+	names := make([]string, 0, len(byPkg))
+	for n := range byPkg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var pkgs []*Package
+	for _, name := range names {
+		files := byPkg[name]
+		sort.Slice(files, func(i, j int) bool {
+			return l.fset.Position(files[i].Pos()).Filename < l.fset.Position(files[j].Pos()).Filename
+		})
+		path := pkgPath
+		if strings.HasSuffix(name, "_test") {
+			path += "_test"
+		}
+		pkgs = append(pkgs, l.check(dir, path, name, files))
+	}
+	return pkgs, nil
+}
+
+func (l *Loader) check(dir, path, name string, files []*ast.File) *Package {
+	pkg := &Package{Dir: dir, PkgPath: path, Name: name, Fset: l.fset, Files: files}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer: l.imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, _ := conf.Check(path, l.fset, files, info) // errors already collected
+	pkg.Types = tpkg
+	pkg.Info = info
+	return pkg
+}
+
+// LoadModule expands patterns against the module at root and loads
+// every matched directory. The returned packages are sorted by import
+// path.
+func (l *Loader) LoadModule(root string, patterns []string) ([]*Package, error) {
+	modPath, err := ModulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := ExpandPatterns(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := modPath
+		if rel != "." {
+			path = modPath + "/" + filepath.ToSlash(rel)
+		}
+		ps, err := l.LoadDir(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, ps...)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,215 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// LockHeld flags a sync.Mutex or sync.RWMutex held across a blocking
+// operation: an RPC call, a channel send or receive, a select without
+// a default case, time.Sleep, or a WaitGroup/Cond Wait. In the
+// distributed transport a worker servicing Step under its mutex must
+// never block on the network — the master's retry storm then piles up
+// behind the lock and the cluster wedges (the classic Pregel-RPC
+// deadlock). The check is lexical and intraprocedural: a Lock() opens
+// a held region that ends at the matching Unlock() (or at function end
+// when the unlock is deferred), and blocking operations inside the
+// region are reported. Function literals only belong to the region
+// when they are invoked in place; goroutine and deferred bodies run
+// without the caller's lock and are skipped.
+var LockHeld = &Analyzer{
+	Name: "lockheld",
+	Doc:  "mutex held across a blocking call (RPC, channel op, sleep, wait)",
+	Run:  runLockHeld,
+}
+
+// heldRegion is one lexical span during which a mutex is held.
+type heldRegion struct {
+	mutex      string
+	start, end token.Pos
+}
+
+func runLockHeld(pass *Pass) error {
+	for _, f := range pass.Files {
+		var walkFuncs func(n ast.Node) bool
+		walkFuncs = func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					checkLockHeld(pass, d.Body)
+				}
+			case *ast.FuncLit:
+				checkLockHeld(pass, d.Body)
+			}
+			return true
+		}
+		ast.Inspect(f, walkFuncs)
+	}
+	return nil
+}
+
+// lockCall classifies a statement-level call on a mutex; returns the
+// rendered receiver and whether it (un)locks.
+func lockCall(pass *Pass, call *ast.CallExpr) (recv string, lock, unlock bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	t := pass.TypeOf(sel.X)
+	if !namedOrPtrTo(t, "sync", "Mutex") && !namedOrPtrTo(t, "sync", "RWMutex") {
+		return "", false, false
+	}
+	recv = exprString(sel.X)
+	if recv == "" {
+		recv = "mutex"
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		return recv, true, false
+	case "Unlock", "RUnlock":
+		return recv, false, true
+	}
+	return "", false, false
+}
+
+// checkLockHeld analyzes one function body in isolation (nested
+// function literals are analyzed by their own invocation of this
+// function and masked here).
+func checkLockHeld(pass *Pass, body *ast.BlockStmt) {
+	type event struct {
+		pos      token.Pos
+		mutex    string
+		lock     bool // else unlock
+		deferred bool
+	}
+	var events []event
+
+	// Collect lock/unlock events in this body, skipping nested
+	// FuncLits entirely (each gets its own checkLockHeld pass).
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok {
+				if recv, lock, unlock := lockCall(pass, call); lock || unlock {
+					events = append(events, event{pos: st.Pos(), mutex: recv, lock: lock})
+				}
+			}
+		case *ast.DeferStmt:
+			if recv, lock, unlock := lockCall(pass, st.Call); lock || unlock {
+				events = append(events, event{pos: st.Pos(), mutex: recv, lock: lock, deferred: true})
+			}
+		}
+		return true
+	})
+	if len(events) == 0 {
+		return
+	}
+
+	// Build held regions per mutex: Lock at L is released by the next
+	// non-deferred Unlock of the same mutex after L, or held to the end
+	// of the function when the unlock is deferred (or missing).
+	var regions []heldRegion
+	for i, ev := range events {
+		if !ev.lock || ev.deferred {
+			continue
+		}
+		end := body.End()
+		for _, ev2 := range events[i+1:] {
+			if !ev2.lock && !ev2.deferred && ev2.mutex == ev.mutex {
+				end = ev2.pos
+				break
+			}
+		}
+		regions = append(regions, heldRegion{mutex: ev.mutex, start: ev.pos, end: end})
+	}
+	if len(regions) == 0 {
+		return
+	}
+
+	held := func(pos token.Pos) (string, bool) {
+		for _, r := range regions {
+			if r.start < pos && pos < r.end {
+				return r.mutex, true
+			}
+		}
+		return "", false
+	}
+	report := func(pos token.Pos, what string) {
+		if mu, ok := held(pos); ok {
+			pass.Reportf(pos, "%s while holding %q: a blocked goroutine wedges every contender of the lock", what, mu)
+		}
+	}
+
+	// Scan for blocking operations, skipping FuncLit bodies unless the
+	// literal is invoked in place.
+	var scan func(n ast.Node) bool
+	scan = func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false // only reachable when not immediately invoked (see CallExpr case)
+		case *ast.CallExpr:
+			if lit, ok := x.Fun.(*ast.FuncLit); ok {
+				// Immediately-invoked literal runs under the lock.
+				ast.Inspect(lit.Body, scan)
+			}
+			if isPkgFunc(pass.Info, x, "time", "Sleep") {
+				report(x.Pos(), "time.Sleep")
+			}
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && !isPackageQualifier(pass, sel.X) {
+				switch sel.Sel.Name {
+				case "Call":
+					report(x.Pos(), "blocking RPC call "+exprStringOr(sel.X, "client")+".Call")
+				case "Wait":
+					t := pass.TypeOf(sel.X)
+					if namedOrPtrTo(t, "sync", "WaitGroup") || namedOrPtrTo(t, "sync", "Cond") {
+						report(x.Pos(), exprStringOr(sel.X, "waiter")+".Wait")
+					}
+				}
+			}
+		case *ast.SendStmt:
+			report(x.Pos(), "channel send")
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				report(x.Pos(), "channel receive")
+			}
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				report(x.Pos(), "select without default")
+			}
+			// The comm clauses' channel ops belong to the select (do
+			// not double-report); still scan the clause bodies.
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					for _, st := range cc.Body {
+						ast.Inspect(st, scan)
+					}
+				}
+			}
+			return false
+		case *ast.GoStmt, *ast.DeferStmt:
+			// The spawned/deferred body does not run under this lock;
+			// but the call's argument expressions are evaluated now.
+			var call *ast.CallExpr
+			switch y := x.(type) {
+			case *ast.GoStmt:
+				call = y.Call
+			case *ast.DeferStmt:
+				call = y.Call
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, scan)
+			}
+			return false
+		}
+		return true
+	}
+	ast.Inspect(body, scan)
+}

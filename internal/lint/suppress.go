@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"strings"
+)
+
+// Suppression syntax:
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// placed on the flagged line or alone on the line directly above it.
+// "all" waives every analyzer. The reason is mandatory — a waiver
+// without a recorded justification is itself reported, so deliberate
+// nondeterminism (the randomized BFL baseline, diagnostics output)
+// stays documented in source.
+
+const ignorePrefix = "//lint:ignore"
+
+type suppression struct {
+	analyzers map[string]bool // nil after a parse error
+	reason    string
+}
+
+// collectSuppressions scans every comment in the package and returns
+// file -> line -> suppression, where line is the line the suppression
+// applies to (the comment's own line; applySuppressions also honors it
+// one line below). Malformed directives are reported as diagnostics.
+func collectSuppressions(pkg *Package, report func(Diagnostic)) map[string]map[int]suppression {
+	out := map[string]map[int]suppression{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				reason = strings.TrimSpace(reason)
+				if name == "" || reason == "" {
+					report(Diagnostic{
+						Pos:      pos,
+						Analyzer: "drlint",
+						Message:  "malformed //lint:ignore directive: want \"//lint:ignore <analyzer> <reason>\"",
+					})
+					continue
+				}
+				set := map[string]bool{}
+				for _, n := range strings.Split(name, ",") {
+					set[strings.TrimSpace(n)] = true
+				}
+				if out[pos.Filename] == nil {
+					out[pos.Filename] = map[int]suppression{}
+				}
+				out[pos.Filename][pos.Line] = suppression{analyzers: set, reason: reason}
+			}
+		}
+	}
+	return out
+}
+
+// applySuppressions filters diags through the package's //lint:ignore
+// directives and appends diagnostics for malformed ones.
+func applySuppressions(pkg *Package, diags []Diagnostic) []Diagnostic {
+	var extra []Diagnostic
+	sups := collectSuppressions(pkg, func(d Diagnostic) { extra = append(extra, d) })
+	matches := func(d Diagnostic, line int) bool {
+		s, ok := sups[d.Pos.Filename][line]
+		if !ok {
+			return false
+		}
+		return s.analyzers["all"] || s.analyzers[d.Analyzer]
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if matches(d, d.Pos.Line) || matches(d, d.Pos.Line-1) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return append(kept, extra...)
+}

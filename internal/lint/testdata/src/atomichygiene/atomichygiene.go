@@ -1,0 +1,46 @@
+// Package atomichygiene exercises the atomichygiene analyzer: mixing
+// sync/atomic and plain access to one variable.
+package atomichygiene
+
+import "sync/atomic"
+
+type counter struct {
+	n    int64
+	safe int64
+}
+
+// bump is the atomic path for both fields.
+func (c *counter) bump() {
+	atomic.AddInt64(&c.n, 1)
+	atomic.AddInt64(&c.safe, 1)
+}
+
+// read races bump: the plain load is invisible to the atomic adds.
+func (c *counter) read() int64 {
+	return c.n // want "\"n\" is accessed with sync/atomic"
+}
+
+// readSafe goes through sync/atomic everywhere: not a finding.
+func (c *counter) readSafe() int64 {
+	return atomic.LoadInt64(&c.safe)
+}
+
+var global int32
+
+// bumpGlobal is the atomic path for the package-level var.
+func bumpGlobal() {
+	atomic.AddInt32(&global, 1)
+}
+
+// resetGlobal writes it plainly, racing bumpGlobal.
+func resetGlobal() {
+	global = 0 // want "\"global\" is accessed with sync/atomic"
+}
+
+// localMix mixes an atomic store with a plain increment on a local.
+func localMix() int64 {
+	var v int64
+	atomic.StoreInt64(&v, 1)
+	v++ // want "\"v\" is accessed with sync/atomic"
+	return atomic.LoadInt64(&v)
+}

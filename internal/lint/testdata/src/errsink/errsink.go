@@ -1,0 +1,48 @@
+// Package errsink exercises the errsink analyzer: discarded errors
+// from Write/Encode/Flush-family calls.
+package errsink
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+)
+
+// dropWrite discards a Write error.
+func dropWrite(buf *bytes.Buffer, b []byte) {
+	buf.Write(b) // want "error from buf.Write is discarded"
+}
+
+// dropEncode discards an Encode error mid-serialization.
+func dropEncode(enc *json.Encoder, v any) {
+	enc.Encode(v) // want "error from enc.Encode is discarded"
+}
+
+// dropFlush discards the error that carries every buffered short write.
+func dropFlush(w *bufio.Writer) {
+	w.Flush() // want "error from w.Flush is discarded"
+}
+
+// dropWriteString discards a WriteString error.
+func dropWriteString(w *bufio.Writer, s string) {
+	w.WriteString(s) // want "error from w.WriteString is discarded"
+}
+
+// handled checks the error: not a finding.
+func handled(buf *bytes.Buffer, b []byte) error {
+	if _, err := buf.Write(b); err != nil {
+		return err
+	}
+	return nil
+}
+
+// deliberate assigns to _ — a reviewed, documented discard.
+func deliberate(w *bufio.Writer) {
+	_ = w.Flush() // best-effort console output
+}
+
+// closeIsFine: Close is errcheck territory, not serialization.
+func closeIsFine(f *os.File) {
+	f.Close()
+}

@@ -1,0 +1,94 @@
+// Package lockheld exercises the lockheld analyzer: sync mutexes held
+// across blocking operations.
+package lockheld
+
+import (
+	"sync"
+	"time"
+)
+
+type client struct{}
+
+func (c *client) Call(method string, args, reply any) error { return nil }
+
+type state struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	wg sync.WaitGroup
+	ch chan int
+	cl client
+}
+
+// sleepUnderLock holds mu across a sleep.
+func (s *state) sleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding \"s.mu\""
+	s.mu.Unlock()
+}
+
+// sendUnderLock holds mu (via deferred unlock) across a channel send.
+func (s *state) sendUnderLock(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- v // want "channel send while holding \"s.mu\""
+}
+
+// recvUnderLock holds the read lock across a receive.
+func (s *state) recvUnderLock() int {
+	s.rw.RLock()
+	v := <-s.ch // want "channel receive while holding \"s.rw\""
+	s.rw.RUnlock()
+	return v
+}
+
+// rpcUnderLock holds mu across a blocking RPC round trip — the classic
+// Pregel-transport wedge.
+func (s *state) rpcUnderLock() {
+	s.mu.Lock()
+	_ = s.cl.Call("Worker.Step", nil, nil) // want "blocking RPC call s.cl.Call while holding \"s.mu\""
+	s.mu.Unlock()
+}
+
+// waitUnderLock holds mu across a WaitGroup wait.
+func (s *state) waitUnderLock() {
+	s.mu.Lock()
+	s.wg.Wait() // want "s.wg.Wait while holding \"s.mu\""
+	s.mu.Unlock()
+}
+
+// selectUnderLock holds mu across a select with no default case.
+func (s *state) selectUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want "select without default while holding \"s.mu\""
+	case v := <-s.ch:
+		_ = v
+	}
+}
+
+// afterUnlock blocks only after releasing the lock.
+func (s *state) afterUnlock() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// pollUnderLock uses a non-blocking select, which cannot wedge.
+func (s *state) pollUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.ch:
+		_ = v
+	default:
+	}
+}
+
+// goroutineBody spawns work that runs without the caller's lock.
+func (s *state) goroutineBody() {
+	s.mu.Lock()
+	go func() {
+		time.Sleep(time.Millisecond)
+	}()
+	s.mu.Unlock()
+}

@@ -1,0 +1,26 @@
+// Package suppress exercises the //lint:ignore machinery: a
+// well-formed waiver silences its line, a reason-less one is itself a
+// finding and silences nothing. Checked programmatically (not via
+// want comments) in TestSuppressions.
+package suppress
+
+type w struct{}
+
+func (w) Send(v int) {}
+
+// good waives with a documented reason: no finding.
+func good(m map[int]int, wk w) {
+	for k := range m {
+		//lint:ignore mapdet fixture tolerates any order
+		wk.Send(k)
+	}
+}
+
+// bad omits the reason: the directive is malformed (one drlint
+// finding) and the Send below stays flagged (one mapdet finding).
+func bad(m map[int]int, wk w) {
+	for k := range m {
+		//lint:ignore mapdet
+		wk.Send(k)
+	}
+}

@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// isPkgFunc reports whether call invokes the function pkgPath.name
+// (e.g. "time".Sleep), resolving the package through the type-checker
+// so local shadowing and import renaming are handled.
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.ObjectOf(id).(*types.PkgName)
+	return ok && pn.Imported().Path() == pkgPath
+}
+
+// pkgFuncName returns (pkgPath, funcName, true) when call is a
+// qualified call into another package.
+func pkgFuncName(info *types.Info, call *ast.CallExpr) (string, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", "", false
+	}
+	pn, ok := info.ObjectOf(id).(*types.PkgName)
+	if !ok {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// isBuiltinAppend reports whether call is the predeclared append.
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := info.ObjectOf(id).(*types.Builtin)
+	return isBuiltin
+}
+
+// namedOrPtrTo unwraps a pointer and reports whether t is the named
+// type pkgPath.name.
+func namedOrPtrTo(t types.Type, pkgPath, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// returnsError reports whether call's result tuple ends in error. When
+// the type-checker has no information for the call, unknown is true.
+func returnsError(info *types.Info, call *ast.CallExpr) (yes, unknown bool) {
+	t := info.TypeOf(call)
+	if t == nil {
+		return false, true
+	}
+	last := t
+	if tup, ok := t.(*types.Tuple); ok {
+		if tup.Len() == 0 {
+			return false, false
+		}
+		last = tup.At(tup.Len() - 1).Type()
+	}
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil, false
+}
+
+// funcScopes yields every function body in the file together with the
+// node that encloses it (FuncDecl or FuncLit), outermost first.
+func funcScopes(f *ast.File, fn func(body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.FuncDecl:
+			if d.Body != nil {
+				fn(d.Body)
+			}
+		case *ast.FuncLit:
+			fn(d.Body)
+		}
+		return true
+	})
+}
+
+// exprString renders a (small) expression for use as a map key when
+// comparing lock receivers: identifiers and selector chains come out
+// as "a.b.c"; anything else returns "" (not comparable).
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := exprString(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(x.X)
+	}
+	return ""
+}

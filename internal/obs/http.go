@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"log"
 	"net/http"
 	"net/http/pprof"
 )
@@ -20,7 +21,12 @@ func Mount(mux *http.ServeMux, r *Registry) {
 	})
 	mux.HandleFunc("GET /trace", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(r.TraceSnapshot())
+		// Mid-stream encode failures cannot become an http.Error (the
+		// status line is already out); log-and-drop, as the query
+		// server's writeJSON does.
+		if err := json.NewEncoder(w).Encode(r.TraceSnapshot()); err != nil {
+			log.Printf("obs: writing /trace response: %v", err)
+		}
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

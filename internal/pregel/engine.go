@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/invariant"
 	"repro/internal/obs"
 )
 
@@ -263,6 +264,10 @@ func encodeMsgs(msgs []Msg) []byte {
 }
 
 func decodeMsgs(buf []byte, dst []Msg) []Msg {
+	// A ragged buffer means a sender and receiver disagree about the
+	// record layout; the loop below would silently drop the tail.
+	invariant.Assert(len(buf)%msgWireSize == 0,
+		"pregel: message buffer of %d bytes is not a whole number of %d-byte records", len(buf), msgWireSize)
 	for len(buf) >= msgWireSize {
 		dst = append(dst, Msg{
 			Dst:  graph.VertexID(binary.LittleEndian.Uint32(buf[0:4])),
