@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet lint invariants check cover bench bench-smoke tools examples experiments clean
+.PHONY: all build test vet lint invariants check cover bench bench-smoke bench-compare tools examples experiments clean
 
 all: build vet test
 
@@ -43,6 +43,16 @@ bench:
 # without paying for real measurements (CI's bench-smoke job).
 bench-smoke:
 	go test -run=NONE -bench=Table6 -benchtime=1x .
+
+# Diff two drbench -json records and fail on a regression of the
+# deterministic wire-volume metrics (messages, bytes_remote). Defaults
+# to the committed before/after pair of the wire-format v2 change;
+# override OLD/NEW to gate a fresh run against the newest baseline, as
+# CI's bench-smoke job does.
+OLD ?= BENCH_table6-tiny-p8-1785921086.json
+NEW ?= BENCH_table6-tiny-p8-1785925046.json
+bench-compare:
+	go run ./cmd/benchcompare $(OLD) $(NEW)
 
 tools:
 	go build -o bin/ ./cmd/...

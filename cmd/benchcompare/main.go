@@ -1,0 +1,140 @@
+// Command benchcompare diffs two drbench -json records (BENCH_*.json)
+// and fails when the newer run regressed the deterministic
+// communication-volume metrics — wire messages or remote bytes — of
+// any (dataset, algorithm) build present in both records.
+//
+// Usage:
+//
+//	benchcompare [-tolerance 0.05] OLD.json NEW.json
+//
+// Timing fields are machine noise and are reported but never gated;
+// messages and bytes_remote are fully determined by the code and the
+// dataset, so any increase beyond the tolerance is a codec or
+// algorithm regression. CI's bench-smoke job runs this against the
+// committed baseline record (see Makefile bench-compare).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	tol := flag.Float64("tolerance", 0, "allowed fractional increase before failing (0 = any increase fails)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcompare [-tolerance F] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldRec, err := load(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	newRec, err := load(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+
+	oldBuilds := index(oldRec)
+	var regressions []string
+	var totOldMsgs, totNewMsgs, totOldBytes, totNewBytes int64
+	fmt.Printf("%-6s %-6s %12s %12s %8s %14s %14s %8s\n",
+		"DATA", "ALGO", "MSGS(old)", "MSGS(new)", "Δ%", "BYTES(old)", "BYTES(new)", "Δ%")
+	for _, d := range newRec.Datasets {
+		for _, nb := range d.Builds {
+			ob, ok := oldBuilds[key{d.Name, nb.Algo}]
+			if !ok {
+				continue
+			}
+			if nb.Error != "" && ob.Error == "" {
+				regressions = append(regressions,
+					fmt.Sprintf("%s/%s: new run errored: %s", d.Name, nb.Algo, nb.Error))
+				continue
+			}
+			if nb.TimedOut && !ob.TimedOut {
+				regressions = append(regressions,
+					fmt.Sprintf("%s/%s: new run timed out", d.Name, nb.Algo))
+				continue
+			}
+			if ob.Messages == 0 && ob.BytesRemote == 0 && nb.Messages == 0 && nb.BytesRemote == 0 {
+				continue // single-machine build, nothing on the wire
+			}
+			fmt.Printf("%-6s %-6s %12d %12d %7.1f%% %14d %14d %7.1f%%\n",
+				d.Name, nb.Algo,
+				ob.Messages, nb.Messages, pct(ob.Messages, nb.Messages),
+				ob.BytesRemote, nb.BytesRemote, pct(ob.BytesRemote, nb.BytesRemote))
+			totOldMsgs += ob.Messages
+			totNewMsgs += nb.Messages
+			totOldBytes += ob.BytesRemote
+			totNewBytes += nb.BytesRemote
+			if exceeds(ob.Messages, nb.Messages, *tol) {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s/%s: messages regressed %d -> %d", d.Name, nb.Algo, ob.Messages, nb.Messages))
+			}
+			if exceeds(ob.BytesRemote, nb.BytesRemote, *tol) {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s/%s: bytes_remote regressed %d -> %d", d.Name, nb.Algo, ob.BytesRemote, nb.BytesRemote))
+			}
+		}
+	}
+	fmt.Printf("%-6s %-6s %12d %12d %7.1f%% %14d %14d %7.1f%%\n",
+		"TOTAL", "", totOldMsgs, totNewMsgs, pct(totOldMsgs, totNewMsgs),
+		totOldBytes, totNewBytes, pct(totOldBytes, totNewBytes))
+
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "\nbenchcompare: %d regression(s):\n", len(regressions))
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "  "+r)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("\nbenchcompare: no message-volume regressions")
+}
+
+type key struct{ dataset, algo string }
+
+func index(r *bench.RunRecord) map[key]bench.BuildRecord {
+	m := map[key]bench.BuildRecord{}
+	for _, d := range r.Datasets {
+		for _, b := range d.Builds {
+			m[key{d.Name, b.Algo}] = b
+		}
+	}
+	return m
+}
+
+func load(path string) (*bench.RunRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rec bench.RunRecord
+	if err := json.NewDecoder(f).Decode(&rec); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rec, nil
+}
+
+func pct(old, new int64) float64 {
+	if old == 0 {
+		if new == 0 {
+			return 0
+		}
+		return 100
+	}
+	return 100 * (float64(new) - float64(old)) / float64(old)
+}
+
+func exceeds(old, new int64, tol float64) bool {
+	return float64(new) > float64(old)*(1+tol)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcompare:", err)
+	os.Exit(1)
+}

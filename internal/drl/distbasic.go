@@ -1,7 +1,6 @@
 package drl
 
 import (
-	"encoding/binary"
 	"sort"
 
 	"repro/internal/graph"
@@ -154,6 +153,11 @@ func (p *basicPhaseA) Superstep(w *pregel.Worker, step int) (bool, error) {
 
 func (p *basicPhaseA) Finish(w *pregel.Worker) error { return nil }
 
+// MessageCombiner deduplicates identical messages per destination. The
+// flood kinds are seen-guarded and the block/notify path is guarded by
+// blockKey, so a duplicate (Dst, Kind, Val) triple is never acted on.
+func (p *basicPhaseA) MessageCombiner() pregel.Combiner { return pregel.DedupCombiner }
+
 // basicPhaseB floods DES(u) from every eliminator and eliminates.
 type basicPhaseB struct {
 	shared *basicShared
@@ -167,21 +171,23 @@ func (p *basicPhaseB) PreStep(workers []*pregel.Worker, step int) error {
 		if len(blob) == 0 {
 			continue
 		}
-		kind := blob[0]
 		tgt := p.shared.higFwd
-		if kind == kindHigBwd {
+		if blob[0] == kindHigBwd {
 			tgt = p.shared.higBwd
 		}
-		rest := blob[1:]
-		for len(rest) >= 8 {
-			v := graph.VertexID(binary.LittleEndian.Uint32(rest[0:4]))
-			r := order.Rank(binary.LittleEndian.Uint32(rest[4:8]))
+		err := decodeEventPairs(blob[1:], func(v graph.VertexID, r order.Rank) {
 			tgt[v] = append(tgt[v], r)
-			rest = rest[8:]
+		})
+		if err != nil {
+			return err
 		}
 	}
 	return nil
 }
+
+// MessageCombiner deduplicates DES-flood messages; the receiving loop
+// is desSeen-guarded.
+func (p *basicPhaseB) MessageCombiner() pregel.Combiner { return pregel.DedupCombiner }
 
 func (p *basicPhaseB) Superstep(w *pregel.Worker, step int) (bool, error) {
 	local := w.State.(*basicLocal)
@@ -193,23 +199,19 @@ func (p *basicPhaseB) Superstep(w *pregel.Worker, step int) (bool, error) {
 		// elimination result is a set and would survive reordering, but
 		// deterministic wire traffic is what keeps checkpoints and
 		// fault-injection replays byte-stable.
-		var blobF, blobB []byte
+		var evsF, evsB []visitEvent
 		for _, v := range sortedVertices(local.higFwd) {
 			for _, r := range local.higFwd[v] {
-				blobF = appendPair(blobF, v, r)
+				evsF = append(evsF, visitEvent{v: v, r: r})
 			}
 		}
 		for _, v := range sortedVertices(local.higBwd) {
 			for _, r := range local.higBwd[v] {
-				blobB = appendPair(blobB, v, r)
+				evsB = append(evsB, visitEvent{v: v, r: r})
 			}
 		}
-		if len(blobF) > 0 {
-			w.Broadcast(append([]byte{kindHigFwd}, blobF...))
-		}
-		if len(blobB) > 0 {
-			w.Broadcast(append([]byte{kindHigBwd}, blobB...))
-		}
+		w.Broadcast(encodeEventBlob(kindHigFwd, evsF))
+		w.Broadcast(encodeEventBlob(kindHigBwd, evsB))
 		for _, u := range sortedVertices(local.elimFwd) {
 			r := ord.RankOf(u)
 			local.desSeen[seenKey(kindFwd, u, r)] = struct{}{}
@@ -282,13 +284,6 @@ func (p *basicPhaseB) Finish(w *pregel.Worker) error {
 		local.resOut[v] = keep
 	}
 	return nil
-}
-
-func appendPair(blob []byte, v graph.VertexID, r order.Rank) []byte {
-	var rec [8]byte
-	binary.LittleEndian.PutUint32(rec[0:4], uint32(v))
-	binary.LittleEndian.PutUint32(rec[4:8], uint32(r))
-	return append(blob, rec[:]...)
 }
 
 // BuildDistributedBasic runs DRL⁻ on the vertex-centric system.

@@ -1,7 +1,6 @@
 package drl
 
 import (
-	"encoding/binary"
 	"sort"
 
 	"repro/internal/graph"
@@ -65,54 +64,37 @@ func (p *batchProgram) PreStep(workers []*pregel.Worker, step int) error {
 	if len(workers) == 0 {
 		return nil
 	}
+	s := p.shared
 	for _, blob := range workers[0].BcastIn {
 		if len(blob) == 0 {
 			continue
 		}
-		if blob[0] == blobLabels {
-			p.applyLabels(blob[1:])
-			continue
+		var err error
+		switch blob[0] {
+		case blobLabels:
+			err = decodeLabelShares(blob[1:], func(v graph.VertexID, out, in []order.Rank) {
+				s.srcOut[v] = out
+				s.srcIn[v] = in
+			})
+		default:
+			tgt := s.ibfsFwd
+			if blob[0] == kindBwd {
+				tgt = s.ibfsBwd
+			}
+			err = decodeEventPairs(blob[1:], func(x graph.VertexID, r order.Rank) {
+				tgt[x] = append(tgt[x], r)
+			})
 		}
-		s := p.shared
-		tgt := s.ibfsFwd
-		if blob[0] == kindBwd {
-			tgt = s.ibfsBwd
-		}
-		rest := blob[1:]
-		for len(rest) >= 8 {
-			x := graph.VertexID(binary.LittleEndian.Uint32(rest[0:4]))
-			r := order.Rank(binary.LittleEndian.Uint32(rest[4:8]))
-			tgt[x] = append(tgt[x], r)
-			rest = rest[8:]
+		if err != nil {
+			return err
 		}
 	}
 	return nil
 }
 
-func (p *batchProgram) applyLabels(blob []byte) {
-	for len(blob) >= 12 {
-		v := graph.VertexID(binary.LittleEndian.Uint32(blob[0:4]))
-		nOut := int(binary.LittleEndian.Uint32(blob[4:8]))
-		nIn := int(binary.LittleEndian.Uint32(blob[8:12]))
-		blob = blob[12:]
-		need := 4 * (nOut + nIn)
-		if len(blob) < need {
-			return // truncated blob: ignore remainder
-		}
-		outs := make([]order.Rank, nOut)
-		for i := 0; i < nOut; i++ {
-			outs[i] = order.Rank(binary.LittleEndian.Uint32(blob[4*i:]))
-		}
-		blob = blob[4*nOut:]
-		ins := make([]order.Rank, nIn)
-		for i := 0; i < nIn; i++ {
-			ins[i] = order.Rank(binary.LittleEndian.Uint32(blob[4*i:]))
-		}
-		blob = blob[4*nIn:]
-		p.shared.srcOut[v] = outs
-		p.shared.srcIn[v] = ins
-	}
-}
+// MessageCombiner deduplicates rank messages to the same destination
+// vertex (the receiving loop is seen-guarded, like Algorithm 3's).
+func (p *batchProgram) MessageCombiner() pregel.Combiner { return pregel.DedupCombiner }
 
 func (p *batchProgram) Superstep(w *pregel.Worker, step int) (bool, error) {
 	ord := p.shared.ord
@@ -129,7 +111,7 @@ func (p *batchProgram) Superstep(w *pregel.Worker, step int) (bool, error) {
 		local.listFwd = make(map[graph.VertexID][]order.Rank)
 		local.listBwd = make(map[graph.VertexID][]order.Rank)
 
-		var labelBlob []byte
+		var shares []labelShare
 		span := p.shared.span
 		w.OwnedVertices(func(v graph.VertexID) {
 			r := ord.RankOf(v)
@@ -142,7 +124,7 @@ func (p *batchProgram) Superstep(w *pregel.Worker, step int) (bool, error) {
 				return
 			}
 			// Share the batch label sets (line 8).
-			labelBlob = appendLabelShare(labelBlob, v, local.out[v], local.in[v])
+			shares = append(shares, labelShare{v: v, out: local.out[v], in: local.in[v]})
 			local.seen[seenKey(kindFwd, v, r)] = struct{}{}
 			local.seen[seenKey(kindBwd, v, r)] = struct{}{}
 			local.listFwd[v] = append(local.listFwd[v], r)
@@ -154,14 +136,12 @@ func (p *batchProgram) Superstep(w *pregel.Worker, step int) (bool, error) {
 				w.Send(pregel.Msg{Dst: nb, Kind: kindBwd, Val: int32(r)})
 			}
 		})
-		if len(labelBlob) > 0 {
-			w.Broadcast(append([]byte{blobLabels}, labelBlob...))
-		}
+		w.Broadcast(encodeLabelBlob(shares))
 		return true, nil
 	}
 
 	local := w.State.(*batchLocal)
-	var pendFwd, pendBwd []byte
+	var pendFwd, pendBwd []visitEvent
 	for i, m := range w.Inbox {
 		if stepCanceled(i, p.shared.cancel) {
 			return false, pregel.ErrCanceled
@@ -195,29 +175,22 @@ func (p *batchProgram) Superstep(w *pregel.Worker, step int) (bool, error) {
 			continue
 		}
 		local.seen[key] = struct{}{}
-		var rec [8]byte
-		binary.LittleEndian.PutUint32(rec[0:4], uint32(dst))
-		binary.LittleEndian.PutUint32(rec[4:8], uint32(r))
 		if m.Kind == kindFwd {
 			local.listFwd[dst] = append(local.listFwd[dst], r)
-			pendFwd = append(pendFwd, rec[:]...)
+			pendFwd = append(pendFwd, visitEvent{v: dst, r: r})
 			for _, nb := range w.Graph.OutNeighbors(dst) {
 				w.Send(pregel.Msg{Dst: nb, Kind: kindFwd, Val: m.Val})
 			}
 		} else {
 			local.listBwd[dst] = append(local.listBwd[dst], r)
-			pendBwd = append(pendBwd, rec[:]...)
+			pendBwd = append(pendBwd, visitEvent{v: dst, r: r})
 			for _, nb := range w.Graph.InNeighbors(dst) {
 				w.Send(pregel.Msg{Dst: nb, Kind: kindBwd, Val: m.Val})
 			}
 		}
 	}
-	if len(pendFwd) > 0 {
-		w.Broadcast(append([]byte{kindFwd}, pendFwd...))
-	}
-	if len(pendBwd) > 0 {
-		w.Broadcast(append([]byte{kindBwd}, pendBwd...))
-	}
+	w.Broadcast(encodeEventBlob(kindFwd, pendFwd))
+	w.Broadcast(encodeEventBlob(kindBwd, pendBwd))
 	return len(w.Inbox) > 0 || len(w.BcastIn) > 0, nil
 }
 
@@ -260,24 +233,6 @@ func (p *batchProgram) Finish(w *pregel.Worker) error {
 		invariant.StrictlyIncreasing("drl: accumulated L_out after batch merge", local.out[v])
 	}
 	return nil
-}
-
-func appendLabelShare(blob []byte, v graph.VertexID, out, in []order.Rank) []byte {
-	var hdr [12]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(v))
-	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(out)))
-	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(in)))
-	blob = append(blob, hdr[:]...)
-	var rec [4]byte
-	for _, r := range out {
-		binary.LittleEndian.PutUint32(rec[:], uint32(r))
-		blob = append(blob, rec[:]...)
-	}
-	for _, r := range in {
-		binary.LittleEndian.PutUint32(rec[:], uint32(r))
-		blob = append(blob, rec[:]...)
-	}
-	return blob
 }
 
 // BuildDistributedBatch runs DRL_b (Algorithm 4) on the vertex-centric

@@ -1,7 +1,6 @@
 package drl
 
 import (
-	"encoding/binary"
 	"sort"
 
 	"repro/internal/graph"
@@ -113,35 +112,37 @@ type distProgram struct {
 }
 
 // PreStep applies the visit-event broadcasts of the previous step to
-// the shared inverted-list replica.
+// the shared inverted-list replica. A corrupt blob aborts the run.
 func (p *distProgram) PreStep(workers []*pregel.Worker, step int) error {
 	if len(workers) == 0 {
 		return nil
 	}
 	for _, blob := range workers[0].BcastIn {
-		applyEvents(p.shared, blob)
+		if err := applyEvents(p.shared, blob); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
-// applyEvents decodes one event blob: kind byte, then (vertex, rank)
-// pairs.
-func applyEvents(s *distShared, blob []byte) {
+// MessageCombiner deduplicates rank messages to the same destination
+// vertex: the receiving loop is seen-guarded, so duplicates carry no
+// information and need not cross the wire.
+func (p *distProgram) MessageCombiner() pregel.Combiner { return pregel.DedupCombiner }
+
+// applyEvents decodes one event blob (tag byte, then delta-encoded
+// (vertex, rank) pairs) into the inverted-list replica.
+func applyEvents(s *distShared, blob []byte) error {
 	if len(blob) == 0 {
-		return
+		return nil
 	}
-	kind := blob[0]
 	tgt := s.ibfsFwd
-	if kind == kindBwd {
+	if blob[0] == kindBwd {
 		tgt = s.ibfsBwd
 	}
-	blob = blob[1:]
-	for len(blob) >= 8 {
-		x := graph.VertexID(binary.LittleEndian.Uint32(blob[0:4]))
-		r := order.Rank(binary.LittleEndian.Uint32(blob[4:8]))
+	return decodeEventPairs(blob[1:], func(x graph.VertexID, r order.Rank) {
 		tgt[x] = append(tgt[x], r)
-		blob = blob[8:]
-	}
+	})
 }
 
 func (p *distProgram) Superstep(w *pregel.Worker, step int) (bool, error) {
@@ -167,7 +168,7 @@ func (p *distProgram) Superstep(w *pregel.Worker, step int) (bool, error) {
 
 	local := w.State.(*distLocal)
 	ord := p.shared.ord
-	var pendFwd, pendBwd []byte
+	var pendFwd, pendBwd []visitEvent
 	for i, m := range w.Inbox {
 		if stepCanceled(i, p.shared.cancel) {
 			return false, pregel.ErrCanceled
@@ -197,29 +198,22 @@ func (p *distProgram) Superstep(w *pregel.Worker, step int) (bool, error) {
 			continue
 		}
 		local.seen[key] = struct{}{}
-		var rec [8]byte
-		binary.LittleEndian.PutUint32(rec[0:4], uint32(dst))
-		binary.LittleEndian.PutUint32(rec[4:8], uint32(r))
 		if m.Kind == kindFwd {
 			local.listFwd[dst] = append(local.listFwd[dst], r)
-			pendFwd = append(pendFwd, rec[:]...)
+			pendFwd = append(pendFwd, visitEvent{v: dst, r: r})
 			for _, nb := range w.Graph.OutNeighbors(dst) {
 				w.Send(pregel.Msg{Dst: nb, Kind: kindFwd, Val: m.Val})
 			}
 		} else {
 			local.listBwd[dst] = append(local.listBwd[dst], r)
-			pendBwd = append(pendBwd, rec[:]...)
+			pendBwd = append(pendBwd, visitEvent{v: dst, r: r})
 			for _, nb := range w.Graph.InNeighbors(dst) {
 				w.Send(pregel.Msg{Dst: nb, Kind: kindBwd, Val: m.Val})
 			}
 		}
 	}
-	if len(pendFwd) > 0 {
-		w.Broadcast(append([]byte{kindFwd}, pendFwd...))
-	}
-	if len(pendBwd) > 0 {
-		w.Broadcast(append([]byte{kindBwd}, pendBwd...))
-	}
+	w.Broadcast(encodeEventBlob(kindFwd, pendFwd))
+	w.Broadcast(encodeEventBlob(kindBwd, pendBwd))
 	return len(w.Inbox) > 0 || len(w.BcastIn) > 0, nil
 }
 

@@ -1,14 +1,13 @@
 package pregel
 
 import (
-	"encoding/binary"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"time"
 
 	"repro/internal/graph"
-	"repro/internal/invariant"
 	"repro/internal/obs"
 )
 
@@ -53,6 +52,10 @@ func (e *Engine) Run(p Program) (Metrics, error) {
 		maxSteps = 4*e.g.NumVertices() + 64
 	}
 	e.runs++
+	var comb Combiner
+	if cp, ok := p.(CombinerProvider); ok {
+		comb = cp.MessageCombiner()
+	}
 	reg := e.cfg.Obs
 	trace := reg.Trace("pregel")
 	cSteps := reg.Counter("pregel_supersteps_total")
@@ -149,7 +152,10 @@ func (e *Engine) Run(p Program) (Metrics, error) {
 
 		// Exchange phase.
 		exStart := time.Now()
-		delivered := e.exchange(&met)
+		delivered, err := e.exchange(&met, comb)
+		if err != nil {
+			return met, err
+		}
 		exDur := time.Since(exStart)
 		met.CommTime += exDur
 		met.SimNetTime += e.cfg.Net.ExchangeCost(stepRemoteBytes(&met), len(e.workers))
@@ -191,8 +197,9 @@ func stepRemoteBytes(m *Metrics) int64 {
 
 // exchange serializes every outbox, moves the bytes, and decodes them
 // into the destination inboxes. It reports whether anything was
-// delivered.
-func (e *Engine) exchange(met *Metrics) bool {
+// delivered; a codec error (a corrupt or misaligned packet) aborts the
+// run in every build.
+func (e *Engine) exchange(met *Metrics, comb Combiner) (bool, error) {
 	p := len(e.workers)
 	// Gather broadcast blobs: every blob reaches all P workers.
 	var bcasts [][]byte
@@ -205,79 +212,75 @@ func (e *Engine) exchange(met *Metrics) bool {
 		w.bcast = nil
 	}
 
-	// Encode per (src,dst) pair. Messages to the local worker are
-	// serialized too — MPI packs buffers even for self sends — but
-	// their bytes are counted as local.
-	type packet struct{ buf []byte }
-	packets := make([][]packet, p) // packets[dst] = list of encoded bufs
+	// Encode per (src,dst) pair into pooled buffers. Messages to the
+	// local worker are serialized too — MPI packs buffers even for self
+	// sends — but their bytes are counted as local. Messages are counted
+	// post-combining: the metric is what actually crosses the wire.
+	packets := make([][]*packetBuf, p) // packets[dst] = list of encoded bufs
 	for i := range packets {
-		packets[i] = make([]packet, 0, p)
+		packets[i] = make([]*packetBuf, 0, p)
+	}
+	release := func() {
+		for _, pks := range packets {
+			for _, pb := range pks {
+				putPacketBuf(pb)
+			}
+		}
 	}
 	delivered := false
 	for _, w := range e.workers {
-		met.Messages += w.msgsOut
-		w.msgsOut = 0
 		for dst, msgs := range w.outbox {
 			if len(msgs) == 0 {
 				continue
 			}
 			delivered = true
-			buf := encodeMsgs(msgs)
-			if dst == w.ID {
-				met.BytesLocal += int64(len(buf))
-			} else {
-				met.BytesRemote += int64(len(buf))
+			pb := getPacketBuf()
+			var n int
+			var err error
+			pb.b, n, err = encodePacket(pb.b, msgs, comb)
+			if err != nil {
+				putPacketBuf(pb)
+				release()
+				return false, fmt.Errorf("pregel: worker %d encoding for worker %d: %w", w.ID, dst, err)
 			}
-			packets[dst] = append(packets[dst], packet{buf: buf})
+			met.Messages += int64(n)
+			if dst == w.ID {
+				met.BytesLocal += int64(len(pb.b))
+			} else {
+				met.BytesRemote += int64(len(pb.b))
+			}
+			packets[dst] = append(packets[dst], pb)
 			w.outbox[dst] = msgs[:0]
 		}
 	}
 
-	// Decode at the receivers, in parallel.
+	// Decode at the receivers, in parallel. Every worker gets its own
+	// BcastIn slice header: the blobs are shared (they are read-only by
+	// contract) but a program reordering or clearing its own inbox slice
+	// must not corrupt a sibling's view.
+	errs := make([]error, p)
 	var wg sync.WaitGroup
 	for i, w := range e.workers {
 		wg.Add(1)
 		go func(i int, w *Worker) {
 			defer wg.Done()
 			w.Inbox = w.Inbox[:0]
-			for _, pk := range packets[i] {
-				w.Inbox = decodeMsgs(pk.buf, w.Inbox)
+			for _, pb := range packets[i] {
+				w.Inbox, errs[i] = decodePacket(pb.b, w.Inbox)
+				if errs[i] != nil {
+					errs[i] = fmt.Errorf("pregel: worker %d decoding inbox: %w", i, errs[i])
+					return
+				}
 			}
-			w.BcastIn = bcasts
+			w.BcastIn = append(w.BcastIn[:0], bcasts...)
 		}(i, w)
 	}
 	wg.Wait()
-	return delivered || len(bcasts) > 0
-}
-
-func encodeMsgs(msgs []Msg) []byte {
-	buf := make([]byte, 0, len(msgs)*msgWireSize)
-	for _, m := range msgs {
-		var rec [msgWireSize]byte
-		binary.LittleEndian.PutUint32(rec[0:4], uint32(m.Dst))
-		rec[4] = m.Kind
-		binary.LittleEndian.PutUint32(rec[5:9], uint32(m.Val))
-		binary.LittleEndian.PutUint32(rec[9:13], uint32(m.Val2))
-		buf = append(buf, rec[:]...)
+	release()
+	if err := errors.Join(errs...); err != nil {
+		return false, err
 	}
-	return buf
-}
-
-func decodeMsgs(buf []byte, dst []Msg) []Msg {
-	// A ragged buffer means a sender and receiver disagree about the
-	// record layout; the loop below would silently drop the tail.
-	invariant.Assert(len(buf)%msgWireSize == 0,
-		"pregel: message buffer of %d bytes is not a whole number of %d-byte records", len(buf), msgWireSize)
-	for len(buf) >= msgWireSize {
-		dst = append(dst, Msg{
-			Dst:  graph.VertexID(binary.LittleEndian.Uint32(buf[0:4])),
-			Kind: buf[4],
-			Val:  int32(binary.LittleEndian.Uint32(buf[5:9])),
-			Val2: int32(binary.LittleEndian.Uint32(buf[9:13])),
-		})
-		buf = buf[msgWireSize:]
-	}
-	return dst
+	return delivered || len(bcasts) > 0, nil
 }
 
 func canceled(c <-chan struct{}) bool {

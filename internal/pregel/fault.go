@@ -52,11 +52,11 @@ type FaultPlan struct {
 
 // FaultStats counts the faults a FaultTransport injected.
 type FaultStats struct {
-	Calls      int
-	Drops      int
+	Calls       int
+	Drops       int
 	LostReplies int
-	Delays     int
-	Crashes    int
+	Delays      int
+	Crashes     int
 }
 
 // Injected fault sentinels, matched with errors.Is. Both classify as

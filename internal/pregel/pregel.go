@@ -30,19 +30,19 @@ import (
 // ErrCanceled is returned when a run is aborted through Config.Cancel.
 var ErrCanceled = errors.New("pregel: run canceled")
 
-// Msg is the fixed-size message record exchanged between vertices.
-// The interpretation of Kind, Val, and Val2 is up to the program: the
+// Msg is the message record exchanged between vertices. The
+// interpretation of Kind, Val, and Val2 is up to the program: the
 // labeling programs put a vertex rank in Val and a direction flag in
 // Kind; the distributed-DFS token of BFL carries the sender in Val
-// and a running counter in Val2.
+// and a running counter in Val2. On the wire a Msg is a variable-size
+// delta+varint record (see codec.go and DESIGN.md §9), not a fixed
+// 13-byte struct dump.
 type Msg struct {
 	Dst  graph.VertexID
 	Kind uint8
 	Val  int32
 	Val2 int32
 }
-
-const msgWireSize = 13 // 4 (dst) + 1 (kind) + 4 (val) + 4 (val2)
 
 // Config configures an engine.
 type Config struct {
@@ -103,15 +103,19 @@ type Worker struct {
 	State any
 
 	// Inbox holds the messages delivered to this worker's vertices in
-	// the previous exchange, in arbitrary order.
+	// the previous exchange. Within each sender's packet the messages
+	// arrive sorted by destination vertex (the codec's delta encoding
+	// sorts them); across senders the packets are concatenated in
+	// worker order. Programs must not depend on any finer ordering.
 	Inbox []Msg
 	// BcastIn holds the broadcast blobs published by all workers
-	// (including this one) in the previous exchange.
+	// (including this one) in the previous exchange. The slice header is
+	// owned by this worker, but the blobs themselves are shared and
+	// read-only by contract.
 	BcastIn [][]byte
 
-	outbox  [][]Msg // per-destination-worker staging
-	bcast   [][]byte
-	msgsOut int64
+	outbox [][]Msg // per-destination-worker staging
+	bcast  [][]byte
 }
 
 // Owns reports whether this worker owns vertex v.
@@ -128,11 +132,12 @@ func (w *Worker) OwnedVertices(fn func(v graph.VertexID)) {
 	}
 }
 
-// Send queues a message for delivery in the next superstep.
+// Send queues a message for delivery in the next superstep. The
+// Messages metric counts what survives the program's combiner (if
+// any), not raw Send calls.
 func (w *Worker) Send(m Msg) {
 	d := w.OwnerOf(m.Dst)
 	w.outbox[d] = append(w.outbox[d], m)
-	w.msgsOut++
 }
 
 // Broadcast publishes a blob to every worker (delivered next

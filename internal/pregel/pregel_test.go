@@ -221,8 +221,13 @@ func TestMaxSuperstepsGuard(t *testing.T) {
 func TestMsgCodecRoundTrip(t *testing.T) {
 	f := func(dst uint32, kind uint8, val, val2 int32) bool {
 		in := []Msg{{Dst: graph.VertexID(dst & 0x7fffffff), Kind: kind, Val: val, Val2: val2}}
-		out := decodeMsgs(encodeMsgs(in), nil)
-		return len(out) == 1 && out[0] == in[0]
+		want := in[0]
+		buf, n, err := encodePacket(nil, in, nil)
+		if err != nil || n != 1 {
+			return false
+		}
+		out, err := decodePacket(buf, nil)
+		return err == nil && len(out) == 1 && out[0] == want
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)

@@ -100,11 +100,12 @@ type StepArgs struct {
 // StepReply carries the worker's outputs.
 type StepReply struct {
 	Active       bool
-	Out          map[int][]byte // destination worker -> encoded messages
+	Out          map[int][]byte // destination worker -> encoded packet
 	Bcasts       [][]byte
 	ComputeNanos int64
-	// MsgsOut is the number of messages the worker emitted this step,
-	// so the master's Metrics.Messages matches the in-process engine's.
+	// MsgsOut is the number of records the worker put on the wire this
+	// step (post-combining), so the master's Metrics.Messages matches
+	// the in-process engine's exactly.
 	MsgsOut int64
 }
 
@@ -127,6 +128,7 @@ type WorkerServer struct {
 	w       *Worker
 	factory RPCFactory
 	prog    Program
+	comb    Combiner
 
 	runID     int
 	lastStep  int
@@ -171,6 +173,7 @@ func (s *WorkerServer) Init(args InitArgs, _ *struct{}) error {
 	}
 	s.factory = RPCFactory{}
 	s.prog = nil
+	s.comb = nil
 	s.runID = 0
 	s.lastStep = -1
 	s.haveReply = false
@@ -199,6 +202,10 @@ func (s *WorkerServer) BeginRun(args BeginRunArgs, _ *struct{}) error {
 	}
 	s.factory = f
 	s.prog = prog
+	s.comb = nil
+	if cp, ok := prog.(CombinerProvider); ok {
+		s.comb = cp.MessageCombiner()
+	}
 	s.runID = args.RunID
 	s.lastStep = -1
 	s.haveReply = false
@@ -228,7 +235,12 @@ func (s *WorkerServer) Step(args StepArgs, reply *StepReply) error {
 	w := s.w
 	w.Inbox = w.Inbox[:0]
 	for _, pk := range args.Packets {
-		w.Inbox = decodeMsgs(pk, w.Inbox)
+		var err error
+		if w.Inbox, err = decodePacket(pk, w.Inbox); err != nil {
+			// A corrupt packet is a protocol bug, not network weather:
+			// surface it as a permanent application error.
+			return fmt.Errorf("worker %d: step %d: %w", w.ID, args.Step, err)
+		}
 	}
 	w.BcastIn = args.Bcasts
 
@@ -249,11 +261,17 @@ func (s *WorkerServer) Step(args StepArgs, reply *StepReply) error {
 		if len(msgs) == 0 {
 			continue
 		}
-		reply.Out[dst] = encodeMsgs(msgs)
+		// Fresh buffers, not pooled: the reply is retained by the
+		// duplicate-delivery cache and serialized asynchronously by
+		// net/rpc, so there is no safe recycle point worker-side.
+		buf, n, err := encodePacket(nil, msgs, s.comb)
+		if err != nil {
+			return fmt.Errorf("worker %d: step %d: %w", w.ID, args.Step, err)
+		}
+		reply.Out[dst] = buf
+		reply.MsgsOut += int64(n)
 		w.outbox[dst] = msgs[:0]
 	}
-	reply.MsgsOut = w.msgsOut
-	w.msgsOut = 0
 	reply.Bcasts = w.bcast
 	w.bcast = nil
 
@@ -690,9 +708,18 @@ func (m *Master) runAttempt(program string, params map[string]string, maxSteps i
 	hStep := reg.Histogram("pregel_superstep_seconds", nil)
 	reg.Gauge("pregel_workers").Set(int64(p))
 
+	// Per-step scratch, reused across the loop to keep the routing
+	// path's allocations flat. The routed packet buffers themselves are
+	// owned by the gob-decoded replies (and possibly adopted by a
+	// checkpoint), so they are not poolable here; only the bookkeeping
+	// slices are.
+	replies := make([]*StepReply, p)
+	errs := make([]error, p)
+	keys := make([]int, 0, p)
 	for ; step < maxSteps; step++ {
-		replies := make([]*StepReply, p)
-		errs := make([]error, p)
+		for i := range replies {
+			replies[i], errs[i] = nil, nil
+		}
 		var wg sync.WaitGroup
 		m.statsMu.Lock()
 		preRetries := m.Metrics.Retries
@@ -728,11 +755,13 @@ func (m *Master) runAttempt(program string, params map[string]string, maxSteps i
 			row.Retries = m.Metrics.Retries - preRetries
 			m.statsMu.Unlock()
 			for i := range pending {
-				var inBytes int
+				var inMsgs int
 				for _, buf := range pending[i] {
-					inBytes += len(buf)
+					if n, err := packetRecords(buf); err == nil {
+						inMsgs += n
+					}
 				}
-				row.Workers[i] = obs.WorkerStep{Worker: i, MsgsIn: inBytes / msgWireSize}
+				row.Workers[i] = obs.WorkerStep{Worker: i, MsgsIn: inMsgs}
 			}
 		}
 		next := make([][][]byte, p)
@@ -751,7 +780,7 @@ func (m *Master) runAttempt(program string, params map[string]string, maxSteps i
 				row.Workers[i].ComputeNanos = r.ComputeNanos
 				row.Workers[i].Active = r.Active
 			}
-			keys := make([]int, 0, len(r.Out))
+			keys = keys[:0]
 			for dst := range r.Out {
 				keys = append(keys, dst)
 			}
