@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet lint invariants check cover bench bench-smoke bench-compare tools examples experiments clean
+.PHONY: all build test vet lint invariants check check-full cover bench bench-smoke bench-compare loadtest load-compare tools examples experiments clean
 
 all: build vet test
 
@@ -14,6 +14,10 @@ check:
 	go run ./cmd/drlint ./...
 	go test -race ./...
 	go test -tags=invariants ./...
+
+# check plus the end-to-end serving smoke — slower, optional locally,
+# what CI's serve-smoke job runs on top of check.
+check-full: check loadtest
 
 build:
 	go build ./...
@@ -53,6 +57,21 @@ OLD ?= BENCH_table6-tiny-p8-1785921086.json
 NEW ?= BENCH_table6-tiny-p8-1785925046.json
 bench-compare:
 	go run ./cmd/benchcompare $(OLD) $(NEW)
+
+# End-to-end serving smoke: drgen -> drlabel -> drserve under a drload
+# burst with answer verification and a graceful-shutdown check, then
+# the flat-vs-slice layout gate (CI's serve-smoke job).
+loadtest:
+	./scripts/serve_smoke.sh
+
+# Diff the committed flat-vs-slice serving records (drload -mode
+# inproc on the citation graph, uniform traffic): the flat layout's
+# query p50 and QPS may not regress past -qtolerance relative to the
+# pre-flat slice baseline. Override LOAD_OLD/LOAD_NEW for fresh runs.
+LOAD_OLD ?= BENCH_load-citation-uni-layout-slice-1785927060.json
+LOAD_NEW ?= BENCH_load-citation-uni-layout-flat-1785927062.json
+load-compare:
+	go run ./cmd/benchcompare -queries $(LOAD_OLD) $(LOAD_NEW)
 
 tools:
 	go build -o bin/ ./cmd/...

@@ -6,12 +6,21 @@
 // Usage:
 //
 //	benchcompare [-tolerance 0.05] OLD.json NEW.json
+//	benchcompare -queries [-qtolerance 0.25] OLD.json NEW.json
 //
-// Timing fields are machine noise and are reported but never gated;
-// messages and bytes_remote are fully determined by the code and the
-// dataset, so any increase beyond the tolerance is a codec or
+// Timing fields are machine noise and are reported but never gated by
+// default; messages and bytes_remote are fully determined by the code
+// and the dataset, so any increase beyond the tolerance is a codec or
 // algorithm regression. CI's bench-smoke job runs this against the
 // committed baseline record (see Makefile bench-compare).
+//
+// With -queries the serving metrics are gated too: query p50 latency
+// may not rise, and achieved QPS may not fall, beyond -qtolerance for
+// any (dataset, algo) present in both records. These ARE timing
+// numbers, so the tolerance is meant to be generous — the gate exists
+// to catch gross serving regressions (an accidentally quadratic merge,
+// a lost cache), not single-digit jitter. drload writes records in
+// this shape (see Makefile loadtest).
 package main
 
 import (
@@ -25,6 +34,8 @@ import (
 
 func main() {
 	tol := flag.Float64("tolerance", 0, "allowed fractional increase before failing (0 = any increase fails)")
+	gateQ := flag.Bool("queries", false, "also gate query p50 latency and QPS")
+	qtol := flag.Float64("qtolerance", 0.25, "allowed fractional query-latency/QPS regression with -queries")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchcompare [-tolerance F] OLD.json NEW.json")
@@ -85,6 +96,10 @@ func main() {
 		"TOTAL", "", totOldMsgs, totNewMsgs, pct(totOldMsgs, totNewMsgs),
 		totOldBytes, totNewBytes, pct(totOldBytes, totNewBytes))
 
+	if *gateQ {
+		regressions = append(regressions, compareQueries(oldBuilds, newRec, *qtol)...)
+	}
+
 	if len(regressions) > 0 {
 		fmt.Fprintf(os.Stderr, "\nbenchcompare: %d regression(s):\n", len(regressions))
 		for _, r := range regressions {
@@ -93,6 +108,36 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("\nbenchcompare: no message-volume regressions")
+}
+
+// compareQueries diffs the serving metrics — query p50 latency and
+// achieved QPS — of every matched (dataset, algo) build and returns
+// the regressions beyond qtol.
+func compareQueries(oldBuilds map[key]bench.BuildRecord, newRec *bench.RunRecord, qtol float64) []string {
+	var regressions []string
+	fmt.Printf("\n%-10s %-14s %12s %12s %8s %12s %12s %8s\n",
+		"DATA", "ALGO", "P50ns(old)", "P50ns(new)", "Δ%", "QPS(old)", "QPS(new)", "Δ%")
+	for _, d := range newRec.Datasets {
+		for _, nb := range d.Builds {
+			ob, ok := oldBuilds[key{d.Name, nb.Algo}]
+			if !ok || ob.Query == nil || nb.Query == nil {
+				continue
+			}
+			fmt.Printf("%-10s %-14s %12d %12d %7.1f%% %12.0f %12.0f %7.1f%%\n",
+				d.Name, nb.Algo,
+				ob.Query.P50Nanos, nb.Query.P50Nanos, pct(ob.Query.P50Nanos, nb.Query.P50Nanos),
+				ob.QPS, nb.QPS, pctF(ob.QPS, nb.QPS))
+			if float64(nb.Query.P50Nanos) > float64(ob.Query.P50Nanos)*(1+qtol) {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s/%s: query p50 regressed %dns -> %dns", d.Name, nb.Algo, ob.Query.P50Nanos, nb.Query.P50Nanos))
+			}
+			if ob.QPS > 0 && nb.QPS > 0 && nb.QPS < ob.QPS/(1+qtol) {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s/%s: QPS regressed %.0f -> %.0f", d.Name, nb.Algo, ob.QPS, nb.QPS))
+			}
+		}
+	}
+	return regressions
 }
 
 type key struct{ dataset, algo string }
@@ -128,6 +173,16 @@ func pct(old, new int64) float64 {
 		return 100
 	}
 	return 100 * (float64(new) - float64(old)) / float64(old)
+}
+
+func pctF(old, new float64) float64 {
+	if old == 0 {
+		if new == 0 {
+			return 0
+		}
+		return 100
+	}
+	return 100 * (new - old) / old
 }
 
 func exceeds(old, new int64, tol float64) bool {

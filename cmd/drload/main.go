@@ -1,0 +1,313 @@
+// Command drload is the load generator and soak harness for the query
+// serving layer: N concurrent clients firing zipfian (s, t) pair
+// traffic, reporting achieved QPS and latency percentiles in the same
+// BENCH_*.json shape drbench writes, so benchcompare can gate serving
+// regressions exactly like build regressions.
+//
+// Two modes:
+//
+//	# Hammer a live drserve over HTTP (single queries or batches):
+//	drload -addr 127.0.0.1:8080 -clients 8 -duration 10s -batch 16
+//	drload -addr 127.0.0.1:8080 -requests 20000 -verify-idx web.idx
+//
+//	# Profile the index in-process, flat vs. pre-flat slice layout:
+//	drload -mode inproc -idx web.idx -layout flat  -json
+//	drload -mode inproc -idx web.idx -layout slice -json
+//
+// With -verify-idx the HTTP answers are checked against a locally
+// loaded copy of the index and any mismatch counts as an error; the
+// exit status is nonzero whenever errors occurred, which is what CI's
+// serve-smoke job gates on.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/bench"
+	"repro/internal/graph"
+)
+
+func main() {
+	var (
+		mode      = flag.String("mode", "serve", "serve (HTTP loadgen) or inproc (layout profiling)")
+		addr      = flag.String("addr", "127.0.0.1:8080", "serve mode: host:port of a running drserve")
+		idxPath   = flag.String("idx", "", "inproc mode: index file to profile (required)")
+		layout    = flag.String("layout", "flat", "inproc mode: flat (CSR index) or slice (pre-flat per-vertex lists)")
+		verifyIdx = flag.String("verify-idx", "", "serve mode: index file to check HTTP answers against")
+		clients   = flag.Int("clients", 8, "concurrent client loops")
+		requests  = flag.Int("requests", 10000, "total requests (serve mode, ignored with -duration)")
+		duration  = flag.Duration("duration", 0, "soak: run until this deadline instead of a request count")
+		batch     = flag.Int("batch", 1, "pairs per request: 1 = GET /reach, >1 = POST /reach/batch")
+		queries   = flag.Int("queries", 200000, "inproc mode: sampled query pairs")
+		zipfS     = flag.Float64("zipf", 1.1, "zipf skew of the pair distribution (<=1 = uniform)")
+		seed      = flag.Int64("seed", 1, "traffic seed (client i uses seed+i)")
+		name      = flag.String("name", "", "dataset name in the record (default: index file base, else \"serve\")")
+		asJSON    = flag.Bool("json", false, "write a machine-readable BENCH_*.json record")
+		jsonDir   = flag.String("json-dir", ".", "directory for BENCH_*.json records")
+	)
+	flag.Parse()
+
+	switch *mode {
+	case "serve":
+		runServe(*addr, *verifyIdx, *clients, *requests, *duration, *batch, *zipfS, *seed, *name, *asJSON, *jsonDir)
+	case "inproc":
+		runInproc(*idxPath, *layout, *queries, *zipfS, *seed, *name, *asJSON, *jsonDir)
+	default:
+		fatal(fmt.Errorf("unknown mode %q (serve or inproc)", *mode))
+	}
+}
+
+// runServe drives a live server and exits nonzero on any error.
+func runServe(addr, verifyIdx string, clients, requests int, duration time.Duration, batch int, zipfS float64, seed int64, name string, asJSON bool, jsonDir string) {
+	base := "http://" + addr
+	vertices := serverVertices(base)
+	var oracle *reachlab.Index
+	if verifyIdx != "" {
+		oracle = loadIndex(verifyIdx)
+		if oracle.NumVertices() != vertices {
+			fatal(fmt.Errorf("-verify-idx covers %d vertices, server reports %d", oracle.NumVertices(), vertices))
+		}
+	}
+	httpc := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        clients * 2,
+			MaxIdleConnsPerHost: clients * 2,
+		},
+	}
+	var client bench.Client
+	algo := "http-single"
+	if batch > 1 {
+		algo = fmt.Sprintf("http-batch%d", batch)
+		client = batchClient(httpc, base, oracle)
+	} else {
+		batch = 1
+		client = singleClient(httpc, base, oracle)
+	}
+
+	res := bench.RunLoadgen(bench.LoadgenOptions{
+		Clients:   clients,
+		Requests:  requests,
+		Duration:  duration,
+		BatchSize: batch,
+		Vertices:  vertices,
+		ZipfS:     zipfS,
+		Seed:      seed,
+	}, client)
+
+	if name == "" {
+		name = "serve"
+	}
+	report(name, algo, clients, res)
+	if asJSON {
+		writeRecord(jsonDir, name, algo, clients, res)
+	}
+	if res.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "drload: %d of %d requests failed\n", res.Errors, res.Requests)
+		os.Exit(1)
+	}
+}
+
+// runInproc profiles the index's query kernel without a network in
+// the chosen layout — the flat CSR arrays or the pre-flat per-vertex
+// slice lists — so the two layouts' BENCH records are directly
+// comparable (`benchcompare -queries slice.json flat.json`).
+func runInproc(idxPath, layout string, queries int, zipfS float64, seed int64, name string, asJSON bool, jsonDir string) {
+	if idxPath == "" {
+		fatal(fmt.Errorf("inproc mode requires -idx"))
+	}
+	idx := loadIndex(idxPath)
+	lab := idx.LabelIndex()
+	var reach func(s, t graph.VertexID) bool
+	switch layout {
+	case "flat":
+		reach = lab.Reachable
+	case "slice":
+		reach = lab.Thaw().Reachable
+	default:
+		fatal(fmt.Errorf("unknown layout %q (flat or slice)", layout))
+	}
+	pairs := bench.ZipfPairs(lab.NumVertices(), queries, zipfS, seed)
+	qs, total := bench.ProfileQueries(reach, pairs)
+	res := bench.LoadgenResult{
+		Requests: int64(queries),
+		Pairs:    int64(queries),
+		Elapsed:  total,
+		QPS:      float64(queries) / total.Seconds(),
+		Latency:  qs,
+	}
+	if name == "" {
+		name = strings.TrimSuffix(filepath.Base(idxPath), filepath.Ext(idxPath))
+	}
+	algo := "query-inproc"
+	report(name+"/"+layout, algo, 1, res)
+	if asJSON {
+		writeRecord(jsonDir, name, algo, 1, res, "layout-"+layout)
+	}
+}
+
+// serverVertices asks /stats for the vertex-ID space.
+func serverVertices(base string) int {
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		fatal(fmt.Errorf("querying %s/stats: %w", base, err))
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Vertices int `json:"vertices"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		fatal(fmt.Errorf("decoding /stats: %w", err))
+	}
+	if stats.Vertices <= 0 {
+		fatal(fmt.Errorf("server reports %d vertices", stats.Vertices))
+	}
+	return stats.Vertices
+}
+
+// singleClient answers one pair per request via GET /reach.
+func singleClient(httpc *http.Client, base string, oracle *reachlab.Index) bench.Client {
+	return func(pairs []graph.Edge) error {
+		p := pairs[0]
+		resp, err := httpc.Get(fmt.Sprintf("%s/reach?s=%d&t=%d", base, p.U, p.V))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		var body struct {
+			Reachable bool `json:"reachable"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			return err
+		}
+		if oracle != nil && body.Reachable != oracle.Reachable(p.U, p.V) {
+			return fmt.Errorf("reach(%d,%d): server says %v, index says %v", p.U, p.V, body.Reachable, !body.Reachable)
+		}
+		return nil
+	}
+}
+
+// batchClient answers a batch per request via POST /reach/batch.
+func batchClient(httpc *http.Client, base string, oracle *reachlab.Index) bench.Client {
+	return func(pairs []graph.Edge) error {
+		req := struct {
+			Pairs [][2]int64 `json:"pairs"`
+		}{Pairs: make([][2]int64, len(pairs))}
+		for i, p := range pairs {
+			req.Pairs[i] = [2]int64{int64(p.U), int64(p.V)}
+		}
+		raw, err := json.Marshal(req)
+		if err != nil {
+			return err
+		}
+		resp, err := httpc.Post(base+"/reach/batch", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		var body struct {
+			Count   int    `json:"count"`
+			Results []bool `json:"results"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			return err
+		}
+		if body.Count != len(pairs) || len(body.Results) != len(pairs) {
+			return fmt.Errorf("batch of %d pairs got %d answers", len(pairs), len(body.Results))
+		}
+		if oracle != nil {
+			for i, p := range pairs {
+				if body.Results[i] != oracle.Reachable(p.U, p.V) {
+					return fmt.Errorf("batch reach(%d,%d): server says %v", p.U, p.V, body.Results[i])
+				}
+			}
+		}
+		return nil
+	}
+}
+
+func loadIndex(path string) *reachlab.Index {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	idx, err := reachlab.ReadIndex(f)
+	if err != nil {
+		fatal(err)
+	}
+	return idx
+}
+
+func report(name, algo string, clients int, res bench.LoadgenResult) {
+	fmt.Printf("%s %s: %d requests (%d pairs, %d errors) in %v, %d clients\n",
+		name, algo, res.Requests, res.Pairs, res.Errors, res.Elapsed.Round(time.Millisecond), clients)
+	fmt.Printf("  %.0f pairs/s   latency mean %v  p50 %v  p90 %v  p99 %v\n",
+		res.QPS, res.Latency.Mean, res.Latency.P50, res.Latency.P90, res.Latency.P99)
+}
+
+// writeRecord serializes the run in the drbench RunRecord shape so
+// benchcompare -queries can diff serving runs.
+func writeRecord(dir, name, algo string, clients int, res bench.LoadgenResult, tags ...string) {
+	rec := bench.RunRecord{
+		Experiment: "loadgen",
+		Suite:      name,
+		Workers:    clients,
+		Queries:    int(res.Pairs),
+		UnixTime:   time.Now().Unix(),
+		Datasets: []bench.DatasetRecord{{
+			Name: name,
+			Builds: []bench.BuildRecord{{
+				Algo:    algo,
+				Seconds: res.Elapsed.Seconds(),
+				QPS:     res.QPS,
+				Errors:  res.Errors,
+				Query: &bench.QueryRecord{
+					MeanNanos: res.Latency.Mean.Nanoseconds(),
+					P50Nanos:  res.Latency.P50.Nanoseconds(),
+					P90Nanos:  res.Latency.P90.Nanoseconds(),
+					P99Nanos:  res.Latency.P99.Nanoseconds(),
+				},
+			}},
+		}},
+	}
+	suffix := ""
+	if len(tags) > 0 {
+		suffix = "-" + strings.Join(tags, "-")
+	}
+	path := filepath.Join(dir, fmt.Sprintf("BENCH_load-%s%s-%d.json", name, suffix, rec.UnixTime))
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "drload:", err)
+	os.Exit(1)
+}

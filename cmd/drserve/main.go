@@ -1,11 +1,14 @@
 // Command drserve serves reachability queries from a serialized index
 // over HTTP — the single query machine of the paper's deployment
-// model.
+// model. It fronts the index with a sharded hot-pair answer cache and
+// a batch endpoint, and shuts down gracefully on SIGINT/SIGTERM,
+// draining in-flight queries before exiting.
 //
 // Usage:
 //
 //	drserve -idx graph.idx -listen :8080
 //	curl 'localhost:8080/reach?s=3&t=17'
+//	curl -d '{"pairs":[[3,17],[5,9]]}' 'localhost:8080/reach/batch'
 //	curl 'localhost:8080/stats'
 //
 // Observability (see DESIGN.md §7):
@@ -16,18 +19,27 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro"
 )
 
 func main() {
 	var (
-		idxPath = flag.String("idx", "", "index file written by drlabel (required)")
-		listen  = flag.String("listen", "127.0.0.1:8080", "address to listen on")
+		idxPath  = flag.String("idx", "", "index file written by drlabel (required)")
+		listen   = flag.String("listen", "127.0.0.1:8080", "address to listen on")
+		cache    = flag.Int("cache", 1<<20, "hot-pair cache capacity in entries (0 disables)")
+		shards   = flag.Int("cache-shards", 64, "hot-pair cache shard count")
+		maxBatch = flag.Int("max-batch", reachlab.DefaultMaxBatch, "maximum pairs per /reach/batch request")
+		grace    = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight queries")
 	)
 	flag.Parse()
 	if *idxPath == "" {
@@ -43,10 +55,44 @@ func main() {
 		fatal(err)
 	}
 	st := idx.Stats()
-	fmt.Printf("serving %d vertices (%.2f MB index) on %s (metrics at /metrics, profiles at /debug/pprof/)\n",
-		idx.NumVertices(), float64(st.Bytes)/(1<<20), *listen)
-	if err := http.ListenAndServe(*listen, reachlab.NewQueryHandler(idx)); err != nil {
+	fmt.Printf("serving %d vertices (%.2f MB index, %d cache slots) on %s (metrics at /metrics, profiles at /debug/pprof/)\n",
+		idx.NumVertices(), float64(st.Bytes)/(1<<20), *cache, *listen)
+
+	handler := reachlab.NewQueryHandlerOpts(idx, reachlab.ServeOptions{
+		Obs:         reachlab.DefaultMetrics(),
+		CachePairs:  *cache,
+		CacheShards: *shards,
+		MaxBatch:    *maxBatch,
+	})
+	srv := &http.Server{
+		Addr:              *listen,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-done:
+		// ListenAndServe never returns nil; any return here is a bind
+		// or accept failure, not a shutdown.
 		fatal(err)
+	case <-ctx.Done():
+		stop()
+		fmt.Fprintln(os.Stderr, "drserve: signal received, draining in-flight queries")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fatal(fmt.Errorf("shutdown: %w", err))
+		}
+		if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "drserve: drained, exiting")
 	}
 }
 

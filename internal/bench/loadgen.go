@@ -1,0 +1,238 @@
+package bench
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Loadgen: the serving-layer companion to the build benchmarks. Where
+// Runner measures index construction, the load generator measures the
+// query machine under concurrent fire — N clients, zipfian pair
+// traffic, per-request latency percentiles, achieved QPS — through a
+// transport-agnostic Client so the same harness drives a live HTTP
+// server (cmd/drload), the in-process index (tests), or anything else
+// that answers pair batches.
+
+// Client answers one batch of (s, t) pairs, returning an error when
+// the request failed (transport error, bad status, or — with
+// verification enabled — a wrong answer). Clients must be safe for
+// concurrent use.
+type Client func(pairs []graph.Edge) error
+
+// LoadgenOptions configures RunLoadgen.
+type LoadgenOptions struct {
+	// Clients is the number of concurrent request loops (default 4).
+	Clients int
+	// Requests is the total request budget across clients. Ignored
+	// when Duration is set.
+	Requests int
+	// Duration switches to soak mode: clients fire until the deadline
+	// instead of until a request count.
+	Duration time.Duration
+	// BatchSize is the number of pairs per request (default 1).
+	BatchSize int
+	// Vertices is the vertex-ID space pairs are drawn from (required).
+	Vertices int
+	// ZipfS is the zipf skew of the pair distribution; values <= 1
+	// fall back to uniform sampling (rand.Zipf requires s > 1).
+	ZipfS float64
+	// Seed makes the traffic deterministic per client (client i uses
+	// Seed+i).
+	Seed int64
+}
+
+func (o LoadgenOptions) clients() int {
+	if o.Clients <= 0 {
+		return 4
+	}
+	return o.Clients
+}
+
+func (o LoadgenOptions) batch() int {
+	if o.BatchSize <= 0 {
+		return 1
+	}
+	return o.BatchSize
+}
+
+// LoadgenResult is the measured outcome of one load run.
+type LoadgenResult struct {
+	Requests int64         // requests attempted
+	Pairs    int64         // pairs asked (Requests × batch size)
+	Errors   int64         // failed requests
+	Elapsed  time.Duration // wall time of the whole run
+	QPS      float64       // achieved pairs per second
+	Latency  QueryStats    // per-request latency distribution
+}
+
+// pairSampler draws (s, t) pairs, zipfian when skew permits.
+type pairSampler struct {
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	n    int
+}
+
+func newPairSampler(n int, zipfS float64, seed int64) *pairSampler {
+	ps := &pairSampler{rng: rand.New(rand.NewSource(seed)), n: n}
+	if zipfS > 1 && n > 1 {
+		ps.zipf = rand.NewZipf(ps.rng, zipfS, 1, uint64(n-1))
+	}
+	return ps
+}
+
+func (ps *pairSampler) vertex() graph.VertexID {
+	if ps.zipf != nil {
+		return graph.VertexID(ps.zipf.Uint64())
+	}
+	return graph.VertexID(ps.rng.Intn(ps.n))
+}
+
+func (ps *pairSampler) fill(pairs []graph.Edge) {
+	for i := range pairs {
+		pairs[i] = graph.Edge{U: ps.vertex(), V: ps.vertex()}
+	}
+}
+
+// ZipfPairs samples q deterministic zipf-distributed (s, t) pairs —
+// the offline analogue of the load generator's traffic, used for
+// layout profiling.
+func ZipfPairs(n, q int, zipfS float64, seed int64) []graph.Edge {
+	pairs := make([]graph.Edge, q)
+	newPairSampler(n, zipfS, seed).fill(pairs)
+	return pairs
+}
+
+// RunLoadgen drives client from opts.Clients concurrent loops and
+// aggregates latency and error statistics. Each client samples its
+// own deterministic zipfian pair stream, so a fixed seed reproduces
+// the exact traffic regardless of scheduling.
+func RunLoadgen(opts LoadgenOptions, client Client) LoadgenResult {
+	nc := opts.clients()
+	batch := opts.batch()
+	perClient := 0
+	if opts.Duration <= 0 {
+		perClient = opts.Requests / nc
+		if perClient == 0 {
+			perClient = 1
+		}
+	}
+	var (
+		wg       sync.WaitGroup
+		requests atomic.Int64
+		errors   atomic.Int64
+		lats     = make([][]time.Duration, nc)
+	)
+	start := time.Now()
+	deadline := start.Add(opts.Duration)
+	for c := 0; c < nc; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			sampler := newPairSampler(opts.Vertices, opts.ZipfS, opts.Seed+int64(id))
+			pairs := make([]graph.Edge, batch)
+			var mine []time.Duration
+			for i := 0; ; i++ {
+				if opts.Duration > 0 {
+					if time.Now().After(deadline) {
+						break
+					}
+				} else if i >= perClient {
+					break
+				}
+				sampler.fill(pairs)
+				t0 := time.Now()
+				err := client(pairs)
+				mine = append(mine, time.Since(t0))
+				requests.Add(1)
+				if err != nil {
+					errors.Add(1)
+				}
+			}
+			lats[id] = mine
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	res := LoadgenResult{
+		Requests: requests.Load(),
+		Pairs:    requests.Load() * int64(batch),
+		Errors:   errors.Load(),
+		Elapsed:  elapsed,
+		Latency:  latencyStats(all),
+	}
+	if elapsed > 0 {
+		res.QPS = float64(res.Pairs) / elapsed.Seconds()
+	}
+	return res
+}
+
+// latencyStats computes exact mean and percentiles over raw latencies.
+func latencyStats(lats []time.Duration) QueryStats {
+	if len(lats) == 0 {
+		return QueryStats{}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	var total time.Duration
+	for _, l := range lats {
+		total += l
+	}
+	pct := func(q float64) time.Duration {
+		i := int(q*float64(len(lats)-1) + 0.5)
+		return lats[i]
+	}
+	return QueryStats{
+		Mean: total / time.Duration(len(lats)),
+		P50:  pct(0.50),
+		P90:  pct(0.90),
+		P99:  pct(0.99),
+	}
+}
+
+// ProfileQueries measures the latency distribution of reach over the
+// given pairs. Single queries run in tens of nanoseconds, below timer
+// resolution, so latencies are sampled per chunk and the percentiles
+// are taken over per-query chunk means (the same scheme as
+// Runner.QueryProfile). It returns the distribution and the total
+// wall time of the sweep.
+func ProfileQueries(reach func(s, t graph.VertexID) bool, pairs []graph.Edge) (QueryStats, time.Duration) {
+	if len(pairs) == 0 {
+		return QueryStats{}, 0
+	}
+	const chunk = 64
+	lats := make([]time.Duration, 0, (len(pairs)+chunk-1)/chunk)
+	var total time.Duration
+	for lo := 0; lo < len(pairs); lo += chunk {
+		hi := lo + chunk
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		start := time.Now()
+		for _, p := range pairs[lo:hi] {
+			reach(p.U, p.V)
+		}
+		d := time.Since(start)
+		total += d
+		lats = append(lats, d/time.Duration(hi-lo))
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(q float64) time.Duration {
+		i := int(q*float64(len(lats)-1) + 0.5)
+		return lats[i]
+	}
+	return QueryStats{
+		Mean: total / time.Duration(len(pairs)),
+		P50:  pct(0.50),
+		P90:  pct(0.90),
+		P99:  pct(0.99),
+	}, total
+}

@@ -2,7 +2,6 @@ package bench
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"repro/internal/label"
@@ -43,6 +42,11 @@ type BuildRecord struct {
 	TimedOut       bool         `json:"timed_out,omitempty"`
 	Error          string       `json:"error,omitempty"`
 	Query          *QueryRecord `json:"query,omitempty"`
+
+	// Serving-side measurements (cmd/drload records; zero for build
+	// benchmarks).
+	QPS    float64 `json:"qps,omitempty"`
+	Errors int64   `json:"errors,omitempty"`
 }
 
 // QueryRecord is the query-latency distribution of an index.
@@ -85,33 +89,8 @@ func (r *Runner) QueryProfile(idx *label.Index) QueryStats {
 		return QueryStats{}
 	}
 	pairs := queryPairs(idx.NumVertices(), r.Queries, 7)
-	const chunk = 64
-	lats := make([]time.Duration, 0, (len(pairs)+chunk-1)/chunk)
-	var total time.Duration
-	for lo := 0; lo < len(pairs); lo += chunk {
-		hi := lo + chunk
-		if hi > len(pairs) {
-			hi = len(pairs)
-		}
-		start := time.Now()
-		for _, p := range pairs[lo:hi] {
-			idx.Reachable(p.U, p.V)
-		}
-		d := time.Since(start)
-		total += d
-		lats = append(lats, d/time.Duration(hi-lo))
-	}
-	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-	pct := func(q float64) time.Duration {
-		i := int(q*float64(len(lats)-1) + 0.5)
-		return lats[i]
-	}
-	return QueryStats{
-		Mean: total / time.Duration(len(pairs)),
-		P50:  pct(0.50),
-		P90:  pct(0.90),
-		P99:  pct(0.99),
-	}
+	qs, _ := ProfileQueries(idx.Reachable, pairs)
+	return qs
 }
 
 // Profile runs TOL, DRL_b^M, DRL, and DRL_b over every dataset and

@@ -31,21 +31,16 @@ func (b *Builder) AddIn(w graph.VertexID, r order.Rank) { b.in[w] = append(b.in[
 // AddOut records r ∈ L_out(w).
 func (b *Builder) AddOut(w graph.VertexID, r order.Rank) { b.out[w] = append(b.out[w], r) }
 
-// Finalize sorts every label list and assembles the flat Index.
+// Finalize sorts every label list and freezes the result into the
+// flat Index: every construction path funnels through Lists.Freeze.
 func (b *Builder) Finalize() *Index {
-	x := &Index{
-		n:      b.n,
-		ord:    b.ord,
-		inOff:  make([]int64, b.n+1),
-		outOff: make([]int64, b.n+1),
-	}
-	var inTotal, outTotal int64
-	for v := 0; v < b.n; v++ {
-		inTotal += int64(len(b.in[v]))
-		outTotal += int64(len(b.out[v]))
-	}
-	x.inLab = make([]order.Rank, 0, inTotal)
-	x.outLab = make([]order.Rank, 0, outTotal)
+	return b.Lists().Freeze()
+}
+
+// Lists sorts every accumulated label list and returns the slice
+// layout, aliasing the Builder's backing slices (the Builder should
+// not be reused afterwards).
+func (b *Builder) Lists() *Lists {
 	for v := 0; v < b.n; v++ {
 		sortRanks(b.in[v])
 		sortRanks(b.out[v])
@@ -53,12 +48,8 @@ func (b *Builder) Finalize() *Index {
 		// handles repeats), so only sortedness is promised here.
 		invariant.Sorted("label: L_in after Finalize sort", b.in[v])
 		invariant.Sorted("label: L_out after Finalize sort", b.out[v])
-		x.inLab = append(x.inLab, b.in[v]...)
-		x.outLab = append(x.outLab, b.out[v]...)
-		x.inOff[v+1] = int64(len(x.inLab))
-		x.outOff[v+1] = int64(len(x.outLab))
 	}
-	return x
+	return &Lists{n: b.n, ord: b.ord, in: b.in, out: b.out}
 }
 
 func sortRanks(rs []order.Rank) {
@@ -74,28 +65,11 @@ func sortRanks(rs []order.Rank) {
 // and never labels a vertex twice). The lists are copied, not aliased.
 func FromLists(ord *order.Ordering, in, out [][]order.Rank) *Index {
 	n := ord.N()
-	x := &Index{
-		n:      n,
-		ord:    ord,
-		inOff:  make([]int64, n+1),
-		outOff: make([]int64, n+1),
-	}
-	var inTotal, outTotal int64
-	for v := 0; v < n; v++ {
-		inTotal += int64(len(in[v]))
-		outTotal += int64(len(out[v]))
-	}
-	x.inLab = make([]order.Rank, 0, inTotal)
-	x.outLab = make([]order.Rank, 0, outTotal)
 	for v := 0; v < n; v++ {
 		invariant.StrictlyIncreasing("label: FromLists in-list", in[v])
 		invariant.StrictlyIncreasing("label: FromLists out-list", out[v])
-		x.inLab = append(x.inLab, in[v]...)
-		x.outLab = append(x.outLab, out[v]...)
-		x.inOff[v+1] = int64(len(x.inLab))
-		x.outOff[v+1] = int64(len(x.outLab))
 	}
-	return x
+	return (&Lists{n: n, ord: ord, in: in, out: out}).Freeze()
 }
 
 // FromBackward assembles an Index from backward label sets: backIn[r]

@@ -1,0 +1,143 @@
+package label
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/order"
+)
+
+// randomIndex builds an index with random (sorted, duplicate-free)
+// label lists through the Builder, alongside the raw per-vertex lists.
+func randomIndex(t *testing.T, n int, seed int64) *Index {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ranks := make([]order.Rank, n)
+	for i := range ranks {
+		ranks[i] = order.Rank(i)
+	}
+	rng.Shuffle(n, func(i, j int) { ranks[i], ranks[j] = ranks[j], ranks[i] })
+	b := NewBuilder(order.FromRanks(ranks))
+	for v := 0; v < n; v++ {
+		for r := 0; r < n; r++ {
+			if rng.Intn(4) == 0 {
+				b.AddIn(graph.VertexID(v), order.Rank(r))
+			}
+			if rng.Intn(4) == 0 {
+				b.AddOut(graph.VertexID(v), order.Rank(r))
+			}
+		}
+	}
+	return b.Finalize()
+}
+
+// TestFreezeThawRoundTrip: Thaw∘Freeze is the identity on label sets,
+// and the re-frozen index is byte-identical to the original.
+func TestFreezeThawRoundTrip(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		x := randomIndex(t, 40, seed)
+		refrozen := x.Thaw().Freeze()
+		if !x.Equal(refrozen) {
+			t.Fatalf("seed %d: Thaw().Freeze() diverged: %s", seed, x.Diff(refrozen))
+		}
+	}
+}
+
+// TestFlatMatchesSliceLayout: the flat Index and the slice-layout
+// Lists answer every pair identically — the layouts differ only in
+// memory shape, never in answers.
+func TestFlatMatchesSliceLayout(t *testing.T) {
+	for _, seed := range []int64{7, 8} {
+		x := randomIndex(t, 48, seed)
+		l := x.Thaw()
+		for s := 0; s < 48; s++ {
+			for d := 0; d < 48; d++ {
+				sv, tv := graph.VertexID(s), graph.VertexID(d)
+				if got, want := x.Reachable(sv, tv), l.Reachable(sv, tv); got != want {
+					t.Fatalf("seed %d: flat(%d,%d)=%v, slice says %v", seed, s, d, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestGallopIntersects pits the galloping kernel against the linear
+// merge on skewed random lists, including the boundary shapes the
+// exponential probe has to get right.
+func TestGallopIntersects(t *testing.T) {
+	linear := func(a, b []order.Rank) bool {
+		i, j := 0, 0
+		for i < len(a) && j < len(b) {
+			switch {
+			case a[i] == b[j]:
+				return true
+			case a[i] < b[j]:
+				i++
+			default:
+				j++
+			}
+		}
+		return false
+	}
+	sortedSample := func(rng *rand.Rand, max, k int) []order.Rank {
+		seen := map[int]bool{}
+		var out []order.Rank
+		for len(out) < k {
+			r := rng.Intn(max)
+			if !seen[r] {
+				seen[r] = true
+				out = append(out, order.Rank(r))
+			}
+		}
+		sortRanks(out)
+		return out
+	}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 2000; trial++ {
+		short := sortedSample(rng, 10000, 1+rng.Intn(4))
+		long := sortedSample(rng, 10000, 1+rng.Intn(400))
+		if got, want := gallopIntersects(short, long), linear(short, long); got != want {
+			t.Fatalf("gallop(%v, %v) = %v, linear merge says %v", short, long, got, want)
+		}
+		if got, want := intersects(short, long), linear(short, long); got != want {
+			t.Fatalf("intersects(%v, %v) = %v, linear merge says %v", short, long, got, want)
+		}
+	}
+	// Boundary shapes.
+	if gallopIntersects([]order.Rank{5}, []order.Rank{5}) != true {
+		t.Error("single-element equality missed")
+	}
+	if gallopIntersects([]order.Rank{9}, []order.Rank{1, 2, 3}) != false {
+		t.Error("past-the-end probe must miss")
+	}
+	if gallopIntersects([]order.Rank{0, 9999}, []order.Rank{9999}) != true {
+		t.Error("match at the long list's last element missed")
+	}
+}
+
+// TestReachableBatch: batch answers equal per-pair answers, in caller
+// order, with duplicate and repeated-source pairs mixed in.
+func TestReachableBatch(t *testing.T) {
+	x := randomIndex(t, 32, 11)
+	rng := rand.New(rand.NewSource(12))
+	pairs := make([]Pair, 500)
+	for i := range pairs {
+		pairs[i] = Pair{S: graph.VertexID(rng.Intn(32)), T: graph.VertexID(rng.Intn(32))}
+		if i > 0 && rng.Intn(5) == 0 {
+			pairs[i] = pairs[rng.Intn(i)] // inject duplicates
+		}
+	}
+	got := x.ReachableBatch(pairs)
+	if len(got) != len(pairs) {
+		t.Fatalf("batch returned %d answers for %d pairs", len(got), len(pairs))
+	}
+	for i, p := range pairs {
+		if want := x.Reachable(p.S, p.T); got[i] != want {
+			t.Fatalf("pair %d (%d,%d): batch=%v single=%v", i, p.S, p.T, got[i], want)
+		}
+	}
+	if len(x.ReachableBatch(nil)) != 0 {
+		t.Error("empty batch must return an empty answer slice")
+	}
+}

@@ -1,0 +1,143 @@
+package reachlab
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// Metamorphic query properties: relations that must hold between a
+// reachability index's own answers, with no oracle in sight. They
+// complement oracle_test.go — the BFS oracle checks answers against
+// the graph, these check the index against itself, so a bug that
+// corrupted both the index and the oracle's graph view identically
+// would still trip them.
+
+// randomDAG samples m forward edges (u < v) over n vertices: acyclic
+// by construction, so reachability is a strict partial order plus
+// reflexivity — exactly the shape the transitivity property needs.
+func randomDAG(n, m int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]Edge, 0, m)
+	for i := 0; i < m; i++ {
+		u := rng.Intn(n - 1)
+		v := u + 1 + rng.Intn(n-u-1)
+		edges = append(edges, Edge{From: VertexID(u), To: VertexID(v)})
+	}
+	return NewGraph(n, edges)
+}
+
+// metamorphicVariants is every construction method, mirroring
+// oracle_test.go.
+func metamorphicVariants() []struct {
+	name string
+	opts Options
+} {
+	return []struct {
+		name string
+		opts Options
+	}{
+		{"tol", Options{Method: MethodTOL}},
+		{"drl-basic", Options{Method: MethodDRLBasic, Workers: 3}},
+		{"drl", Options{Method: MethodDRL, Workers: 3}},
+		{"drl-batch", Options{Method: MethodDRLBatch, Workers: 4}},
+		{"drl-shared", Options{Method: MethodDRLShared, Workers: 4}},
+	}
+}
+
+// TestMetamorphicQueryProperties: on seeded random DAGs, every build
+// method must produce an index that is reflexive (reach(v,v)),
+// transitive (reach(s,t) ∧ reach(t,u) ⇒ reach(s,u)), and whose flat
+// layout answers every sampled pair exactly like the slice layout
+// reconstructed from it — with the re-frozen index byte-identical.
+func TestMetamorphicQueryProperties(t *testing.T) {
+	seeds := []int64{21, 22, 23}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	const n = 60
+	for _, seed := range seeds {
+		g := randomDAG(n, 150, seed)
+		for _, v := range metamorphicVariants() {
+			idx, err := Build(context.Background(), g, v.opts)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, v.name, err)
+			}
+
+			// Reflexivity: every vertex reaches itself.
+			for w := 0; w < n; w++ {
+				if !idx.Reachable(VertexID(w), VertexID(w)) {
+					t.Fatalf("seed %d %s: reach(%d,%d) = false", seed, v.name, w, w)
+				}
+			}
+
+			// Transitivity over sampled triples.
+			rng := rand.New(rand.NewSource(seed * 31))
+			checked := 0
+			for trial := 0; trial < 4000; trial++ {
+				s := VertexID(rng.Intn(n))
+				mid := VertexID(rng.Intn(n))
+				u := VertexID(rng.Intn(n))
+				if idx.Reachable(s, mid) && idx.Reachable(mid, u) {
+					checked++
+					if !idx.Reachable(s, u) {
+						t.Fatalf("seed %d %s: reach(%d,%d) and reach(%d,%d) but not reach(%d,%d)",
+							seed, v.name, s, mid, mid, u, s, u)
+					}
+				}
+			}
+			if checked == 0 {
+				t.Fatalf("seed %d %s: no transitive triples sampled; graph too sparse for the property to bite", seed, v.name)
+			}
+
+			// Flat vs. slice layout equality on every pair of a sampled
+			// row set, plus byte-identical refreeze.
+			lists := idx.LabelIndex().Thaw()
+			for trial := 0; trial < 2000; trial++ {
+				s := VertexID(rng.Intn(n))
+				u := VertexID(rng.Intn(n))
+				if flat, slice := idx.Reachable(s, u), lists.Reachable(s, u); flat != slice {
+					t.Fatalf("seed %d %s: flat(%d,%d)=%v but slice layout says %v",
+						seed, v.name, s, u, flat, slice)
+				}
+			}
+			if refrozen := lists.Freeze(); !idx.LabelIndex().Equal(refrozen) {
+				t.Fatalf("seed %d %s: refrozen index diverged: %s",
+					seed, v.name, idx.LabelIndex().Diff(refrozen))
+			}
+		}
+	}
+}
+
+// TestMetamorphicBatchEquality: ReachableBatch must agree with
+// Reachable pair-for-pair on every method, including the condensed
+// index whose component table the batch path has to map through.
+func TestMetamorphicBatchEquality(t *testing.T) {
+	variants := metamorphicVariants()
+	variants = append(variants, struct {
+		name string
+		opts Options
+	}{"tol-condensed", Options{Method: MethodTOL, CondenseSCC: true}})
+
+	// A cyclic graph makes the condensed variant's component table
+	// nontrivial.
+	g := randomCyclicGraph(80, 260, 5)
+	rng := rand.New(rand.NewSource(6))
+	pairs := make([]Pair, 700)
+	for i := range pairs {
+		pairs[i] = Pair{S: VertexID(rng.Intn(80)), T: VertexID(rng.Intn(80))}
+	}
+	for _, v := range variants {
+		idx, err := Build(context.Background(), g, v.opts)
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		got := idx.ReachableBatch(pairs)
+		for i, p := range pairs {
+			if want := idx.Reachable(p.S, p.T); got[i] != want {
+				t.Fatalf("%s: batch pair %d (%d,%d) = %v, single query says %v",
+					v.name, i, p.S, p.T, got[i], want)
+			}
+		}
+	}
+}

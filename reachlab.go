@@ -226,6 +226,38 @@ func (x *Index) Reachable(s, t VertexID) bool {
 	return x.idx.Reachable(s, t)
 }
 
+// Pair is one (source, target) query of a batch.
+type Pair = label.Pair
+
+// ReachableBatch answers q(s, t) for every pair, in the callers'
+// order, with answers identical to calling Reachable per pair. The
+// batch is processed sorted by source so consecutive pairs sharing a
+// source reuse its out-label range — the cheap locality win the batch
+// HTTP endpoint exists to expose.
+func (x *Index) ReachableBatch(pairs []Pair) []bool {
+	if x.comp == nil {
+		return x.idx.ReachableBatch(pairs)
+	}
+	// Condensed index: map both endpoints through the component table;
+	// same-component pairs are reachable without consulting labels.
+	res := make([]bool, len(pairs))
+	sub := make([]Pair, 0, len(pairs))
+	subPos := make([]int, 0, len(pairs))
+	for i, p := range pairs {
+		s, t := VertexID(x.comp[p.S]), VertexID(x.comp[p.T])
+		if s == t {
+			res[i] = true
+			continue
+		}
+		sub = append(sub, Pair{S: s, T: t})
+		subPos = append(subPos, i)
+	}
+	for k, ans := range x.idx.ReachableBatch(sub) {
+		res[subPos[k]] = ans
+	}
+	return res
+}
+
 // NumVertices returns the number of vertices the index covers (the
 // original graph's count for a condensed index).
 func (x *Index) NumVertices() int {
@@ -237,6 +269,11 @@ func (x *Index) NumVertices() int {
 
 // BuildStats returns the construction cost record.
 func (x *Index) BuildStats() BuildStats { return x.stats }
+
+// LabelIndex exposes the underlying flat label index for in-module
+// tooling (cmd/drload profiles the flat vs. slice layouts through
+// it). The component table of a condensed index is not part of it.
+func (x *Index) LabelIndex() *label.Index { return x.idx }
 
 // IndexStats summarizes the index payload.
 type IndexStats struct {

@@ -1,0 +1,62 @@
+#!/bin/sh
+# End-to-end serving smoke (make loadtest, CI serve-smoke job):
+# generate a graph, build its index, start drserve, fire drload bursts
+# with answer verification against the index, check graceful shutdown,
+# then profile the flat vs. pre-flat slice layout in-process and gate
+# the pair with benchcompare -queries.
+#
+# Everything runs on one machine inside a temp dir; the only absolute
+# numbers compared are two runs from the same process minutes apart,
+# so a generous tolerance still catches a gross layout regression
+# without flaking on loaded CI runners.
+set -eu
+
+cd "$(dirname "$0")/.."
+work="$(mktemp -d)"
+addr=127.0.0.1:18321
+srv_pid=""
+cleanup() {
+	[ -n "$srv_pid" ] && kill "$srv_pid" 2>/dev/null || true
+	rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
+
+echo "== build tools"
+go build -o "$work/bin/" ./cmd/drgen ./cmd/drlabel ./cmd/drserve ./cmd/drload ./cmd/benchcompare
+
+echo "== generate graph + index"
+"$work/bin/drgen" -family web -n 20000 -deg 6 -seed 7 -o "$work/graph.bin"
+"$work/bin/drlabel" -i "$work/graph.bin" -o "$work/graph.idx" -method drl-shared -workers 4
+
+echo "== start drserve"
+"$work/bin/drserve" -idx "$work/graph.idx" -listen "$addr" -grace 5s &
+srv_pid=$!
+i=0
+until curl -sf "http://$addr/healthz" >/dev/null 2>&1; do
+	i=$((i + 1))
+	[ "$i" -gt 50 ] && { echo "drserve never became healthy" >&2; exit 1; }
+	sleep 0.1
+done
+
+echo "== drload burst: single queries, verified against the index"
+"$work/bin/drload" -addr "$addr" -clients 4 -requests 2000 -batch 1 -verify-idx "$work/graph.idx" -seed 3
+
+echo "== drload burst: batch queries, verified against the index"
+"$work/bin/drload" -addr "$addr" -clients 4 -requests 500 -batch 16 -verify-idx "$work/graph.idx" -seed 4
+
+echo "== graceful shutdown on SIGTERM"
+kill -TERM "$srv_pid"
+rc=0
+wait "$srv_pid" || rc=$?
+srv_pid=""
+[ "$rc" -eq 0 ] || { echo "drserve exited $rc on SIGTERM" >&2; exit 1; }
+
+echo "== layout gate: flat must not regress against the slice baseline"
+"$work/bin/drload" -mode inproc -idx "$work/graph.idx" -layout slice -name smoke -queries 100000 -zipf 0 -seed 1 -json -json-dir "$work"
+sleep 1
+"$work/bin/drload" -mode inproc -idx "$work/graph.idx" -layout flat -name smoke -queries 100000 -zipf 0 -seed 1 -json -json-dir "$work"
+slice_rec="$(ls "$work"/BENCH_load-smoke-layout-slice-*.json)"
+flat_rec="$(ls "$work"/BENCH_load-smoke-layout-flat-*.json)"
+"$work/bin/benchcompare" -queries -qtolerance 1.0 "$slice_rec" "$flat_rec"
+
+echo "serve smoke: OK"

@@ -2,6 +2,7 @@ package reachlab
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/qcache"
 )
 
 // QueryHandler serves reachability queries from an index over HTTP —
@@ -18,33 +20,105 @@ import (
 //
 // Endpoints:
 //
-//	GET /reach?s=<id>&t=<id>   → {"s":3,"t":17,"reachable":true}
-//	GET /stats                 → index statistics
-//	GET /healthz               → 200 ok
-//	GET /metrics               → Prometheus text exposition
-//	GET /trace                 → superstep traces (JSON)
-//	GET /debug/pprof/          → net/http/pprof profiles
+//	GET  /reach?s=<id>&t=<id>  → {"s":3,"t":17,"reachable":true}
+//	POST /reach/batch          → {"count":2,"results":[true,false]}
+//	                             body: {"pairs":[[3,17],[5,9]]}
+//	GET  /stats                → index statistics
+//	GET  /healthz              → 200 ok
+//	GET  /metrics              → Prometheus text exposition
+//	GET  /trace                → superstep traces (JSON)
+//	GET  /debug/pprof/         → net/http/pprof profiles
 //
-// Per-query latency lands in the "reachlab_query_seconds" histogram;
-// requests and errors are counted per handler in
-// "reachlab_http_requests_total" / "reachlab_http_errors_total".
+// Per-query latency lands in the "reachlab_query_seconds" histogram
+// (single queries) and "reachlab_batch_seconds" / "reachlab_batch_pairs"
+// (batches); requests and errors are counted per handler in
+// "reachlab_http_requests_total" / "reachlab_http_errors_total". With
+// the hot-pair cache enabled, every answered pair counts exactly once
+// in "reachlab_cache_hits_total" or "reachlab_cache_misses_total", and
+// "reachlab_query_pairs_total" counts the pairs themselves, so
+// hits + misses == pairs always reconciles.
 type QueryHandler struct {
-	idx *Index
-	mux *http.ServeMux
-	obs *obs.Registry
+	idx      *Index
+	mux      *http.ServeMux
+	obs      *obs.Registry
+	cache    *qcache.Cache
+	maxBatch int
+
+	// Hot-path metric handles, resolved once.
+	pairsTotal  *obs.Counter
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	queryHist   *obs.Histogram
+	batchHist   *obs.Histogram
+	batchPairs  *obs.Histogram
 }
+
+// ServeOptions configures NewQueryHandlerOpts.
+type ServeOptions struct {
+	// Obs receives request counters and latency histograms; nil
+	// disables instrumentation (/metrics and /trace serve empty
+	// documents).
+	Obs *MetricsRegistry
+	// CachePairs sizes the sharded hot-pair answer cache (rounded up
+	// to a power of two). Zero disables the cache. The index is
+	// immutable, so cached answers never need invalidation.
+	CachePairs int
+	// CacheShards is the shard count of the cache (default 64,
+	// rounded up to a power of two).
+	CacheShards int
+	// MaxBatch caps the pair count of one /reach/batch request;
+	// larger batches are refused with 413. Default DefaultMaxBatch.
+	MaxBatch int
+}
+
+// DefaultMaxBatch is the /reach/batch pair-count cap when
+// ServeOptions.MaxBatch is zero.
+const DefaultMaxBatch = 8192
+
+// defaultCacheShards spreads slot traffic across enough shards that
+// concurrent clients rarely contend on the same cache line.
+const defaultCacheShards = 64
 
 // NewQueryHandler returns an http.Handler serving queries from idx,
 // reporting to the process-wide default registry.
 func NewQueryHandler(idx *Index) *QueryHandler {
-	return NewQueryHandlerObs(idx, obs.Default)
+	return NewQueryHandlerOpts(idx, ServeOptions{Obs: obs.Default})
 }
 
 // NewQueryHandlerObs is NewQueryHandler reporting to reg (nil disables
 // instrumentation; /metrics and /trace then serve empty documents).
 func NewQueryHandlerObs(idx *Index, reg *obs.Registry) *QueryHandler {
-	h := &QueryHandler{idx: idx, mux: http.NewServeMux(), obs: reg}
+	return NewQueryHandlerOpts(idx, ServeOptions{Obs: reg})
+}
+
+// NewQueryHandlerOpts is the fully configurable constructor: cache
+// size, batch cap, and metrics registry.
+func NewQueryHandlerOpts(idx *Index, opts ServeOptions) *QueryHandler {
+	shards := opts.CacheShards
+	if shards <= 0 {
+		shards = defaultCacheShards
+	}
+	maxBatch := opts.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = DefaultMaxBatch
+	}
+	reg := opts.Obs
+	h := &QueryHandler{
+		idx:      idx,
+		mux:      http.NewServeMux(),
+		obs:      reg,
+		cache:    qcache.New(opts.CachePairs, shards),
+		maxBatch: maxBatch,
+
+		pairsTotal:  reg.Counter("reachlab_query_pairs_total"),
+		cacheHits:   reg.Counter("reachlab_cache_hits_total"),
+		cacheMisses: reg.Counter("reachlab_cache_misses_total"),
+		queryHist:   reg.Histogram("reachlab_query_seconds", obs.LatencyBuckets),
+		batchHist:   reg.Histogram("reachlab_batch_seconds", obs.LatencyBuckets),
+		batchPairs:  reg.Histogram("reachlab_batch_pairs", obs.SizeBuckets),
+	}
 	h.mux.HandleFunc("GET /reach", h.reach)
+	h.mux.HandleFunc("POST /reach/batch", h.reachBatch)
 	h.mux.HandleFunc("GET /stats", h.stats)
 	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -57,6 +131,12 @@ func NewQueryHandlerObs(idx *Index, reg *obs.Registry) *QueryHandler {
 // ServeHTTP implements http.Handler.
 func (h *QueryHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	h.mux.ServeHTTP(w, r)
+}
+
+// CacheStats returns the hot-pair cache's lifetime hit and miss
+// counts (zeros when the cache is disabled).
+func (h *QueryHandler) CacheStats() (hits, misses int64) {
+	return h.cache.Hits(), h.cache.Misses()
 }
 
 func (h *QueryHandler) vertex(r *http.Request, name string) (VertexID, error) {
@@ -80,6 +160,29 @@ func (h *QueryHandler) fail(w http.ResponseWriter, handler, msg string, code int
 	http.Error(w, msg, code)
 }
 
+// answer resolves one validated pair through the cache (when enabled)
+// or the merge kernel, keeping the hit/miss counters exact: every pair
+// consults the cache at most once and counts exactly once.
+func (h *QueryHandler) answer(s, t VertexID) bool {
+	if h.cache == nil {
+		return h.idx.Reachable(s, t)
+	}
+	if ans, ok := h.cache.Get(int32(s), int32(t)); ok {
+		h.cacheHits.Inc()
+		return ans
+	}
+	h.cacheMisses.Inc()
+	ans := h.idx.Reachable(s, t)
+	h.cache.Put(int32(s), int32(t), ans)
+	return ans
+}
+
+type reachResponse struct {
+	S         VertexID `json:"s"`
+	T         VertexID `json:"t"`
+	Reachable bool     `json:"reachable"`
+}
+
 func (h *QueryHandler) reach(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	h.obs.Counter(obs.Label("reachlab_http_requests_total", "handler", "reach")).Inc()
@@ -93,14 +196,87 @@ func (h *QueryHandler) reach(w http.ResponseWriter, r *http.Request) {
 		h.fail(w, "reach", err.Error(), http.StatusBadRequest)
 		return
 	}
-	reachable := h.idx.Reachable(s, t)
-	h.obs.Histogram("reachlab_query_seconds", obs.LatencyBuckets).
-		Observe(time.Since(start).Seconds())
-	writeJSON(w, map[string]any{
-		"s":         s,
-		"t":         t,
-		"reachable": reachable,
-	})
+	h.pairsTotal.Inc()
+	reachable := h.answer(s, t)
+	h.queryHist.Observe(time.Since(start).Seconds())
+	writeJSON(w, reachResponse{S: s, T: t, Reachable: reachable})
+}
+
+type batchRequest struct {
+	Pairs [][2]int64 `json:"pairs"`
+}
+
+type batchResponse struct {
+	Count   int    `json:"count"`
+	Results []bool `json:"results"`
+}
+
+// maxBatchBytes bounds the request body: the densest legal encoding
+// of a pair ("[1,2],") is a handful of bytes, so 32 bytes per allowed
+// pair plus slack rejects oversized bodies before they are buffered.
+func (h *QueryHandler) maxBatchBytes() int64 {
+	return int64(h.maxBatch)*32 + 4096
+}
+
+func (h *QueryHandler) reachBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	h.obs.Counter(obs.Label("reachlab_http_requests_total", "handler", "batch")).Inc()
+	r.Body = http.MaxBytesReader(w, r.Body, h.maxBatchBytes())
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			h.fail(w, "batch", fmt.Sprintf("request body over %d bytes", tooBig.Limit),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
+		h.fail(w, "batch", fmt.Sprintf("bad batch request: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(req.Pairs) > h.maxBatch {
+		h.fail(w, "batch", fmt.Sprintf("batch of %d pairs exceeds limit %d", len(req.Pairs), h.maxBatch),
+			http.StatusRequestEntityTooLarge)
+		return
+	}
+	n := int64(h.idx.NumVertices())
+	pairs := make([]Pair, len(req.Pairs))
+	for i, p := range req.Pairs {
+		if p[0] < 0 || p[0] >= n || p[1] < 0 || p[1] >= n {
+			h.fail(w, "batch", fmt.Sprintf("pair %d: vertex out of range [0, %d): [%d,%d]", i, n, p[0], p[1]),
+				http.StatusBadRequest)
+			return
+		}
+		pairs[i] = Pair{S: VertexID(p[0]), T: VertexID(p[1])}
+	}
+	h.pairsTotal.Add(int64(len(pairs)))
+
+	results := make([]bool, len(pairs))
+	if h.cache == nil {
+		results = h.idx.ReachableBatch(pairs)
+	} else {
+		// Consult the cache per pair; resolve the misses as one batch
+		// (keeping the source-locality win) and backfill the cache.
+		missPairs := make([]Pair, 0, len(pairs))
+		missPos := make([]int, 0, len(pairs))
+		for i, p := range pairs {
+			if ans, ok := h.cache.Get(int32(p.S), int32(p.T)); ok {
+				h.cacheHits.Inc()
+				results[i] = ans
+				continue
+			}
+			h.cacheMisses.Inc()
+			missPairs = append(missPairs, p)
+			missPos = append(missPos, i)
+		}
+		for k, ans := range h.idx.ReachableBatch(missPairs) {
+			p := missPairs[k]
+			h.cache.Put(int32(p.S), int32(p.T), ans)
+			results[missPos[k]] = ans
+		}
+	}
+	h.batchHist.Observe(time.Since(start).Seconds())
+	h.batchPairs.Observe(float64(len(pairs)))
+	writeJSON(w, batchResponse{Count: len(results), Results: results})
 }
 
 func (h *QueryHandler) stats(w http.ResponseWriter, _ *http.Request) {
@@ -113,6 +289,12 @@ func (h *QueryHandler) stats(w http.ResponseWriter, _ *http.Request) {
 		"bytes":          st.Bytes,
 		"max_label_size": st.MaxLabelSize,
 		"avg_label_size": st.AvgLabelSize,
+		"cache": map[string]any{
+			"capacity": h.cache.Capacity(),
+			"shards":   h.cache.Shards(),
+			"hits":     h.cache.Hits(),
+			"misses":   h.cache.Misses(),
+		},
 		// Construction cost and fault-handling activity. All zero for
 		// an index loaded from disk (ReadIndex carries no build record).
 		"build": map[string]any{
