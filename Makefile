@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet lint invariants check check-full cover bench bench-smoke bench-compare loadtest load-compare tools examples experiments clean
+.PHONY: all build test vet lint invariants check check-full cover bench bench-smoke bench-compare loadtest load-compare fleettest tools examples experiments clean
 
 all: build vet test
 
@@ -63,6 +63,15 @@ bench-compare:
 # the flat-vs-slice layout gate (CI's serve-smoke job).
 loadtest:
 	./scripts/serve_smoke.sh
+
+# End-to-end fleet smoke: 3 drserve replicas behind drrouter in
+# sharded mode — verified drload bursts, kill -9 + readmission,
+# fleet-wide zero-downtime reload with an epoch check on every
+# replica, reload-under-load, drain/readmit, graceful shutdown (CI's
+# fleet-smoke job). Exits nonzero on any failed request or wrong
+# answer.
+fleettest:
+	./scripts/fleet_smoke.sh
 
 # Diff the committed flat-vs-slice serving records (drload -mode
 # inproc on the citation graph, uniform traffic): the flat layout's

@@ -10,6 +10,11 @@
 //	drload -addr 127.0.0.1:8080 -clients 8 -duration 10s -batch 16
 //	drload -addr 127.0.0.1:8080 -requests 20000 -verify-idx web.idx
 //
+//	# Hammer a fleet (replicas directly, or one/more drrouters) with
+//	# per-endpoint error accounting, reloading the index under load:
+//	drload -addrs 127.0.0.1:9001,127.0.0.1:9002,127.0.0.1:9003 -batch 16
+//	drload -addrs 127.0.0.1:8080 -reload-every 500ms -duration 10s
+//
 //	# Profile the index in-process, flat vs. pre-flat slice layout:
 //	drload -mode inproc -idx web.idx -layout flat  -json
 //	drload -mode inproc -idx web.idx -layout slice -json
@@ -17,7 +22,13 @@
 // With -verify-idx the HTTP answers are checked against a locally
 // loaded copy of the index and any mismatch counts as an error; the
 // exit status is nonzero whenever errors occurred, which is what CI's
-// serve-smoke job gates on.
+// serve-smoke and fleet-smoke jobs gate on. With several -addrs the
+// per-endpoint request/error tallies are printed, so a fleet run's
+// failures point at the replica that produced them. -reload-every
+// POSTs /admin/reload to the endpoints round-robin while the clients
+// fire (a drrouter endpoint fans the reload across its replicas), so
+// the run proves the zero-downtime swap: reload failures are counted
+// separately and also exit nonzero.
 package main
 
 import (
@@ -39,7 +50,10 @@ import (
 func main() {
 	var (
 		mode      = flag.String("mode", "serve", "serve (HTTP loadgen) or inproc (layout profiling)")
-		addr      = flag.String("addr", "127.0.0.1:8080", "serve mode: host:port of a running drserve")
+		addr      = flag.String("addr", "127.0.0.1:8080", "serve mode: host:port of a running drserve or drrouter")
+		addrs     = flag.String("addrs", "", "serve mode: comma-separated endpoints; overrides -addr and reports per-endpoint errors")
+		reloadEv  = flag.Duration("reload-every", 0, "serve mode: POST /admin/reload to the endpoints (round-robin) at this period during the run")
+		reloadRef = flag.String("reload-ref", "", "serve mode: index ref sent with -reload-every reloads (default: the endpoint's own default source)")
 		idxPath   = flag.String("idx", "", "inproc mode: index file to profile (required)")
 		layout    = flag.String("layout", "flat", "inproc mode: flat (CSR index) or slice (pre-flat per-vertex lists)")
 		verifyIdx = flag.String("verify-idx", "", "serve mode: index file to check HTTP answers against")
@@ -58,7 +72,15 @@ func main() {
 
 	switch *mode {
 	case "serve":
-		runServe(*addr, *verifyIdx, *clients, *requests, *duration, *batch, *zipfS, *seed, *name, *asJSON, *jsonDir)
+		list := *addrs
+		if list == "" {
+			list = *addr
+		}
+		endpoints := splitAddrs(list)
+		if len(endpoints) == 0 {
+			fatal(fmt.Errorf("no endpoints in -addr/-addrs"))
+		}
+		runServe(endpoints, *verifyIdx, *reloadEv, *reloadRef, *clients, *requests, *duration, *batch, *zipfS, *seed, *name, *asJSON, *jsonDir)
 	case "inproc":
 		runInproc(*idxPath, *layout, *queries, *zipfS, *seed, *name, *asJSON, *jsonDir)
 	default:
@@ -66,10 +88,26 @@ func main() {
 	}
 }
 
-// runServe drives a live server and exits nonzero on any error.
-func runServe(addr, verifyIdx string, clients, requests int, duration time.Duration, batch int, zipfS float64, seed int64, name string, asJSON bool, jsonDir string) {
-	base := "http://" + addr
-	vertices := serverVertices(base)
+// splitAddrs parses a comma-separated endpoint list into base URLs.
+func splitAddrs(list string) []string {
+	var bases []string
+	for _, a := range strings.Split(list, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		if !strings.Contains(a, "://") {
+			a = "http://" + a
+		}
+		bases = append(bases, strings.TrimSuffix(a, "/"))
+	}
+	return bases
+}
+
+// runServe drives one or more live endpoints and exits nonzero on any
+// request, verification, or reload error.
+func runServe(bases []string, verifyIdx string, reloadEvery time.Duration, reloadRef string, clients, requests int, duration time.Duration, batch int, zipfS float64, seed int64, name string, asJSON bool, jsonDir string) {
+	vertices := serverVertices(bases[0])
 	var oracle *reachlab.Index
 	if verifyIdx != "" {
 		oracle = loadIndex(verifyIdx)
@@ -80,21 +118,25 @@ func runServe(addr, verifyIdx string, clients, requests int, duration time.Durat
 	httpc := &http.Client{
 		Timeout: 30 * time.Second,
 		Transport: &http.Transport{
-			MaxIdleConns:        clients * 2,
+			MaxIdleConns:        clients * 2 * len(bases),
 			MaxIdleConnsPerHost: clients * 2,
 		},
 	}
-	var client bench.Client
+	endpoints := make([]bench.Client, len(bases))
 	algo := "http-single"
 	if batch > 1 {
 		algo = fmt.Sprintf("http-batch%d", batch)
-		client = batchClient(httpc, base, oracle)
+		for i, base := range bases {
+			endpoints[i] = batchClient(httpc, base, oracle)
+		}
 	} else {
 		batch = 1
-		client = singleClient(httpc, base, oracle)
+		for i, base := range bases {
+			endpoints[i] = singleClient(httpc, base, oracle)
+		}
 	}
 
-	res := bench.RunLoadgen(bench.LoadgenOptions{
+	opts := bench.LoadgenOptions{
 		Clients:   clients,
 		Requests:  requests,
 		Duration:  duration,
@@ -102,12 +144,27 @@ func runServe(addr, verifyIdx string, clients, requests int, duration time.Durat
 		Vertices:  vertices,
 		ZipfS:     zipfS,
 		Seed:      seed,
-	}, client)
+	}
+	if reloadEvery > 0 {
+		opts.DisruptEvery = reloadEvery
+		opts.Disrupt = func(k int) error {
+			return postReload(httpc, bases[k%len(bases)], reloadRef)
+		}
+	}
+	res, perEnd := bench.RunLoadgenEndpoints(opts, endpoints)
 
 	if name == "" {
 		name = "serve"
 	}
 	report(name, algo, clients, res)
+	if len(bases) > 1 {
+		for i, e := range perEnd {
+			fmt.Printf("  endpoint %-28s %8d requests  %d errors\n", bases[i], e.Requests, e.Errors)
+		}
+	}
+	if res.Disruptions > 0 {
+		fmt.Printf("  reloads fired: %d (%d failed)\n", res.Disruptions, res.DisruptErrors)
+	}
 	if asJSON {
 		writeRecord(jsonDir, name, algo, clients, res)
 	}
@@ -115,6 +172,34 @@ func runServe(addr, verifyIdx string, clients, requests int, duration time.Durat
 		fmt.Fprintf(os.Stderr, "drload: %d of %d requests failed\n", res.Errors, res.Requests)
 		os.Exit(1)
 	}
+	if res.DisruptErrors > 0 {
+		fmt.Fprintf(os.Stderr, "drload: %d of %d reloads failed\n", res.DisruptErrors, res.Disruptions)
+		os.Exit(1)
+	}
+}
+
+// postReload triggers one index reload on an endpoint (a drserve
+// replica, or a drrouter which fans it across the fleet).
+func postReload(httpc *http.Client, base, ref string) error {
+	body := "{}"
+	if ref != "" {
+		raw, err := json.Marshal(struct {
+			Ref string `json:"ref"`
+		}{Ref: ref})
+		if err != nil {
+			return err
+		}
+		body = string(raw)
+	}
+	resp, err := httpc.Post(base+"/admin/reload", "application/json", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("reload status %d", resp.StatusCode)
+	}
+	return nil
 }
 
 // runInproc profiles the index's query kernel without a network in

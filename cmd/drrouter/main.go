@@ -1,0 +1,107 @@
+// Command drrouter is the fleet frontend: it fans /reach and
+// /reach/batch queries across N drserve replicas, either replicated
+// (any replica answers; least-outstanding wins) or sharded by source
+// rank (shard(s) = s mod K; batches split per shard and merged back
+// into caller order), with periodic health checks, automatic
+// removal/readmission of misbehaving replicas, graceful drain, and a
+// fleet-wide index reload that swaps every replica to a new epoch
+// with zero downtime (DESIGN.md §11).
+//
+// Usage:
+//
+//	drserve -idx graph.idx -listen 127.0.0.1:9001 &
+//	drserve -idx graph.idx -listen 127.0.0.1:9002 &
+//	drserve -idx graph.idx -listen 127.0.0.1:9003 &
+//	drrouter -replicas 127.0.0.1:9001,127.0.0.1:9002,127.0.0.1:9003 -mode sharded
+//
+//	curl 'localhost:8080/reach?s=3&t=17'                  # same API as drserve
+//	curl -d '{"pairs":[[3,17],[5,9]]}' 'localhost:8080/reach/batch'
+//	curl 'localhost:8080/stats'                           # per-replica state + epochs
+//	curl -X POST 'localhost:8080/admin/drain?replica=127.0.0.1:9002'
+//	curl -X POST 'localhost:8080/admin/readmit?replica=127.0.0.1:9002'
+//	curl -X POST 'localhost:8080/admin/reload'            # swap every replica's index
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/obs"
+)
+
+func main() {
+	var (
+		replicas  = flag.String("replicas", "", "comma-separated replica addresses (host:port, required)")
+		mode      = flag.String("mode", "replicated", "routing mode: replicated or sharded")
+		listen    = flag.String("listen", "127.0.0.1:8080", "address to listen on")
+		check     = flag.Duration("check-every", 500*time.Millisecond, "health-probe interval")
+		downAfter = flag.Int("down-after", 2, "consecutive probe failures before a replica is marked down")
+		upAfter   = flag.Int("up-after", 2, "consecutive probe successes before a down replica is readmitted")
+		attempts  = flag.Int("max-attempts", 0, "per-query forwarding budget (0 = 4 × replicas)")
+		backoff   = flag.Duration("retry-backoff", 25*time.Millisecond, "pause between retry rounds")
+		maxBatch  = flag.Int("max-batch", 8192, "maximum pairs per /reach/batch request")
+		grace     = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight queries")
+	)
+	flag.Parse()
+	addrs := strings.Split(*replicas, ",")
+	f, err := fleet.New(addrs, fleet.Options{
+		Mode:          fleet.Mode(*mode),
+		CheckInterval: *check,
+		DownAfter:     *downAfter,
+		UpAfter:       *upAfter,
+		MaxAttempts:   *attempts,
+		RetryBackoff:  *backoff,
+		MaxBatch:      *maxBatch,
+		Obs:           obs.Default,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	f.Start()
+	defer f.Close()
+	fmt.Printf("routing %s across %d replicas on %s (replica state at /stats)\n",
+		*mode, f.NumReplicas(), *listen)
+
+	srv := &http.Server{
+		Addr:              *listen,
+		Handler:           f,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-done:
+		fatal(err)
+	case <-ctx.Done():
+		stop()
+		fmt.Fprintln(os.Stderr, "drrouter: signal received, draining in-flight queries")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fatal(fmt.Errorf("shutdown: %w", err))
+		}
+		if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "drrouter: drained, exiting")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "drrouter:", err)
+	os.Exit(1)
+}

@@ -1,8 +1,11 @@
 // Command drserve serves reachability queries from a serialized index
-// over HTTP — the single query machine of the paper's deployment
-// model. It fronts the index with a sharded hot-pair answer cache and
-// a batch endpoint, and shuts down gracefully on SIGINT/SIGTERM,
-// draining in-flight queries before exiting.
+// over HTTP — one replica of the paper's deployment model. It fronts
+// the index with a sharded hot-pair answer cache and a batch endpoint,
+// hot-reloads the index with zero downtime (POST /admin/reload or
+// SIGHUP swap the frozen index and its cache atomically under live
+// traffic), and shuts down gracefully on SIGINT/SIGTERM, draining
+// in-flight queries before exiting. cmd/drrouter fans traffic across
+// several of these.
 //
 // Usage:
 //
@@ -10,6 +13,12 @@
 //	curl 'localhost:8080/reach?s=3&t=17'
 //	curl -d '{"pairs":[[3,17],[5,9]]}' 'localhost:8080/reach/batch'
 //	curl 'localhost:8080/stats'
+//
+//	# Rebuild the index elsewhere, then swap it in without dropping
+//	# a query (epoch advances; confirm via /stats index_epoch):
+//	curl -X POST 'localhost:8080/admin/reload'                 # re-read -idx
+//	curl -X POST -d '{"ref":"new.idx"}' 'localhost:8080/admin/reload'
+//	kill -HUP <pid>                                            # same as empty reload
 //
 // Observability (see DESIGN.md §7):
 //
@@ -34,7 +43,7 @@ import (
 
 func main() {
 	var (
-		idxPath  = flag.String("idx", "", "index file written by drlabel (required)")
+		idxPath  = flag.String("idx", "", "index file written by drlabel (required; also the default /admin/reload and SIGHUP source)")
 		listen   = flag.String("listen", "127.0.0.1:8080", "address to listen on")
 		cache    = flag.Int("cache", 1<<20, "hot-pair cache capacity in entries (0 disables)")
 		shards   = flag.Int("cache-shards", 64, "hot-pair cache shard count")
@@ -45,12 +54,19 @@ func main() {
 	if *idxPath == "" {
 		fatal(fmt.Errorf("missing -idx"))
 	}
-	f, err := os.Open(*idxPath)
-	if err != nil {
-		fatal(err)
+	loader := func(ref string) (*reachlab.Index, error) {
+		path := ref
+		if path == "" {
+			path = *idxPath
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return reachlab.ReadIndex(f)
 	}
-	idx, err := reachlab.ReadIndex(f)
-	f.Close()
+	idx, err := loader("")
 	if err != nil {
 		fatal(err)
 	}
@@ -63,6 +79,7 @@ func main() {
 		CachePairs:  *cache,
 		CacheShards: *shards,
 		MaxBatch:    *maxBatch,
+		Loader:      loader,
 	})
 	srv := &http.Server{
 		Addr:              *listen,
@@ -70,6 +87,20 @@ func main() {
 		ReadHeaderTimeout: 5 * time.Second,
 		IdleTimeout:       60 * time.Second,
 	}
+
+	// SIGHUP = reload the default index source under live traffic.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			epoch, vertices, err := handler.Reload("")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "drserve: SIGHUP reload failed:", err)
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "drserve: SIGHUP reload done: epoch %d, %d vertices\n", epoch, vertices)
+		}
+	}()
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

@@ -44,6 +44,15 @@ type LoadgenOptions struct {
 	// Seed makes the traffic deterministic per client (client i uses
 	// Seed+i).
 	Seed int64
+	// Disrupt, when set with DisruptEvery, is fired from its own
+	// goroutine every DisruptEvery for the duration of the run — the
+	// during-reload mode: drload points it at POST /admin/reload so
+	// epoch swaps land while the clients are firing. Disrupt errors
+	// are counted separately from request errors.
+	Disrupt func(k int) error
+	// DisruptEvery is the period between Disrupt calls (required for
+	// Disrupt to fire; the first call lands one period into the run).
+	DisruptEvery time.Duration
 }
 
 func (o LoadgenOptions) clients() int {
@@ -62,12 +71,20 @@ func (o LoadgenOptions) batch() int {
 
 // LoadgenResult is the measured outcome of one load run.
 type LoadgenResult struct {
-	Requests int64         // requests attempted
-	Pairs    int64         // pairs asked (Requests × batch size)
-	Errors   int64         // failed requests
-	Elapsed  time.Duration // wall time of the whole run
-	QPS      float64       // achieved pairs per second
-	Latency  QueryStats    // per-request latency distribution
+	Requests      int64         // requests attempted
+	Pairs         int64         // pairs asked (Requests × batch size)
+	Errors        int64         // failed requests
+	Disruptions   int64         // Disrupt calls fired during the run
+	DisruptErrors int64         // Disrupt calls that returned an error
+	Elapsed       time.Duration // wall time of the whole run
+	QPS           float64       // achieved pairs per second
+	Latency       QueryStats    // per-request latency distribution
+}
+
+// EndpointResult is one endpoint's share of a multi-endpoint run.
+type EndpointResult struct {
+	Requests int64
+	Errors   int64
 }
 
 // pairSampler draws (s, t) pairs, zipfian when skew permits.
@@ -112,7 +129,22 @@ func ZipfPairs(n, q int, zipfS float64, seed int64) []graph.Edge {
 // own deterministic zipfian pair stream, so a fixed seed reproduces
 // the exact traffic regardless of scheduling.
 func RunLoadgen(opts LoadgenOptions, client Client) LoadgenResult {
+	res, _ := RunLoadgenEndpoints(opts, []Client{client})
+	return res
+}
+
+// RunLoadgenEndpoints is RunLoadgen over several endpoints at once:
+// request i of client c goes to clients[(c+i) mod len(clients)], so
+// traffic spreads evenly and deterministically, and each endpoint's
+// request and error counts come back separately — when a fleet run
+// reports errors, the per-endpoint tallies say which replica (or
+// router) produced them.
+func RunLoadgenEndpoints(opts LoadgenOptions, clients []Client) (LoadgenResult, []EndpointResult) {
 	nc := opts.clients()
+	ne := len(clients)
+	if ne == 0 {
+		return LoadgenResult{}, nil
+	}
 	batch := opts.batch()
 	perClient := 0
 	if opts.Duration <= 0 {
@@ -121,14 +153,20 @@ func RunLoadgen(opts LoadgenOptions, client Client) LoadgenResult {
 			perClient = 1
 		}
 	}
+	type endpointCounters struct {
+		requests atomic.Int64
+		errors   atomic.Int64
+	}
 	var (
 		wg       sync.WaitGroup
 		requests atomic.Int64
 		errors   atomic.Int64
+		perEnd   = make([]endpointCounters, ne)
 		lats     = make([][]time.Duration, nc)
 	)
 	start := time.Now()
 	deadline := start.Add(opts.Duration)
+	stop := make(chan struct{})
 	for c := 0; c < nc; c++ {
 		wg.Add(1)
 		go func(id int) {
@@ -145,18 +183,50 @@ func RunLoadgen(opts LoadgenOptions, client Client) LoadgenResult {
 					break
 				}
 				sampler.fill(pairs)
+				e := (id + i) % ne
 				t0 := time.Now()
-				err := client(pairs)
+				err := clients[e](pairs)
 				mine = append(mine, time.Since(t0))
 				requests.Add(1)
+				perEnd[e].requests.Add(1)
 				if err != nil {
 					errors.Add(1)
+					perEnd[e].errors.Add(1)
 				}
 			}
 			lats[id] = mine
 		}(c)
 	}
+
+	// The disruptor runs beside the clients until they finish — the
+	// "during-reload" mode: every DisruptEvery it fires the hook
+	// (index swap, replica kill, whatever the caller injects) while
+	// traffic keeps flowing.
+	var disruptions, disruptErrs atomic.Int64
+	var dwg sync.WaitGroup
+	if opts.Disrupt != nil && opts.DisruptEvery > 0 {
+		dwg.Add(1)
+		go func() {
+			defer dwg.Done()
+			t := time.NewTicker(opts.DisruptEvery)
+			defer t.Stop()
+			for k := 0; ; k++ {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					disruptions.Add(1)
+					if err := opts.Disrupt(k); err != nil {
+						disruptErrs.Add(1)
+					}
+				}
+			}
+		}()
+	}
+
 	wg.Wait()
+	close(stop)
+	dwg.Wait()
 	elapsed := time.Since(start)
 
 	var all []time.Duration
@@ -164,16 +234,25 @@ func RunLoadgen(opts LoadgenOptions, client Client) LoadgenResult {
 		all = append(all, l...)
 	}
 	res := LoadgenResult{
-		Requests: requests.Load(),
-		Pairs:    requests.Load() * int64(batch),
-		Errors:   errors.Load(),
-		Elapsed:  elapsed,
-		Latency:  latencyStats(all),
+		Requests:      requests.Load(),
+		Pairs:         requests.Load() * int64(batch),
+		Errors:        errors.Load(),
+		Disruptions:   disruptions.Load(),
+		DisruptErrors: disruptErrs.Load(),
+		Elapsed:       elapsed,
+		Latency:       latencyStats(all),
 	}
 	if elapsed > 0 {
 		res.QPS = float64(res.Pairs) / elapsed.Seconds()
 	}
-	return res
+	ends := make([]EndpointResult, ne)
+	for i := range perEnd {
+		ends[i] = EndpointResult{
+			Requests: perEnd[i].requests.Load(),
+			Errors:   perEnd[i].errors.Load(),
+		}
+	}
+	return res, ends
 }
 
 // latencyStats computes exact mean and percentiles over raw latencies.

@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// TestRunLoadgenEndpointsSpread: with E endpoints, request i of
+// client c goes to clients[(c+i) mod E] — every endpoint gets
+// traffic, the per-endpoint tallies sum to the totals, and errors are
+// attributed to the endpoint that produced them.
+func TestRunLoadgenEndpointsSpread(t *testing.T) {
+	const perClient = 30
+	var calls [3]atomic.Int64
+	mk := func(i int, fail bool) Client {
+		return func(pairs []graph.Edge) error {
+			calls[i].Add(1)
+			if fail {
+				return errors.New("injected")
+			}
+			return nil
+		}
+	}
+	res, ends := RunLoadgenEndpoints(LoadgenOptions{
+		Clients:  2,
+		Requests: 2 * perClient,
+		Vertices: 10,
+		Seed:     1,
+	}, []Client{mk(0, false), mk(1, true), mk(2, false)})
+
+	if res.Requests != 2*perClient {
+		t.Fatalf("requests %d, want %d", res.Requests, 2*perClient)
+	}
+	if len(ends) != 3 {
+		t.Fatalf("%d endpoint tallies, want 3", len(ends))
+	}
+	var sumReq, sumErr int64
+	for i, e := range ends {
+		if e.Requests == 0 {
+			t.Fatalf("endpoint %d got no traffic", i)
+		}
+		if e.Requests != calls[i].Load() {
+			t.Fatalf("endpoint %d tally %d but client saw %d calls", i, e.Requests, calls[i].Load())
+		}
+		sumReq += e.Requests
+		sumErr += e.Errors
+	}
+	if sumReq != res.Requests {
+		t.Fatalf("endpoint requests sum %d != total %d", sumReq, res.Requests)
+	}
+	if sumErr != res.Errors {
+		t.Fatalf("endpoint errors sum %d != total %d", sumErr, res.Errors)
+	}
+	// Only endpoint 1 fails, and every one of its requests fails.
+	if ends[0].Errors != 0 || ends[2].Errors != 0 {
+		t.Fatalf("healthy endpoints charged with errors: %+v", ends)
+	}
+	if ends[1].Errors != ends[1].Requests {
+		t.Fatalf("failing endpoint: %d errors for %d requests", ends[1].Errors, ends[1].Requests)
+	}
+}
+
+// TestRunLoadgenDisrupt: the disruptor fires on its period while the
+// clients run, its calls and errors are tallied separately from
+// request errors, and it stops with the run.
+func TestRunLoadgenDisrupt(t *testing.T) {
+	var fired atomic.Int64
+	res := RunLoadgen(LoadgenOptions{
+		Clients:      2,
+		Duration:     120 * time.Millisecond,
+		Vertices:     10,
+		Seed:         2,
+		DisruptEvery: 25 * time.Millisecond,
+		Disrupt: func(k int) error {
+			fired.Add(1)
+			if k == 0 {
+				return errors.New("first swap failed")
+			}
+			return nil
+		},
+	}, func(pairs []graph.Edge) error {
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+
+	if res.Errors != 0 {
+		t.Fatalf("disruptor errors leaked into request errors: %d", res.Errors)
+	}
+	if res.Disruptions == 0 {
+		t.Fatal("disruptor never fired")
+	}
+	if res.Disruptions != fired.Load() {
+		t.Fatalf("tallied %d disruptions, hook saw %d", res.Disruptions, fired.Load())
+	}
+	if res.DisruptErrors != 1 {
+		t.Fatalf("disrupt errors %d, want exactly 1", res.DisruptErrors)
+	}
+	// The hook must not fire after the run returns.
+	after := fired.Load()
+	time.Sleep(60 * time.Millisecond)
+	if fired.Load() != after {
+		t.Fatal("disruptor kept firing after RunLoadgen returned")
+	}
+}
+
+// TestRunLoadgenSingleEndpointCompat: RunLoadgen over one client must
+// behave exactly as before the multi-endpoint split.
+func TestRunLoadgenSingleEndpointCompat(t *testing.T) {
+	var n atomic.Int64
+	res := RunLoadgen(LoadgenOptions{
+		Clients:   3,
+		Requests:  30,
+		BatchSize: 4,
+		Vertices:  10,
+		Seed:      3,
+	}, func(pairs []graph.Edge) error {
+		if len(pairs) != 4 {
+			t.Errorf("batch size %d, want 4", len(pairs))
+		}
+		n.Add(1)
+		return nil
+	})
+	if res.Requests != n.Load() {
+		t.Fatalf("result says %d requests, client saw %d", res.Requests, n.Load())
+	}
+	if res.Pairs != res.Requests*4 {
+		t.Fatalf("pairs %d for %d requests of 4", res.Pairs, res.Requests)
+	}
+	if res.Errors != 0 || res.Disruptions != 0 {
+		t.Fatalf("unexpected errors/disruptions: %+v", res)
+	}
+}

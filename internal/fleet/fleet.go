@@ -1,0 +1,519 @@
+// Package fleet is the horizontally scaled serving tier: a router
+// that fans reachability queries across N drserve replicas, each
+// holding the same frozen flat index (DESIGN.md §11).
+//
+// Two routing modes share one replica pool:
+//
+//   - Replicated: any replica can answer any pair; the router picks
+//     the healthy replica with the fewest outstanding requests.
+//   - Sharded: the pair space is partitioned by source rank
+//     (shard(s) = s mod K over the fixed replica list), so each
+//     replica's hot-pair cache sees only its slice of the source
+//     space and stays hot. Batches are split into per-shard
+//     sub-batches and the answers merged back into caller order.
+//
+// Sharding is an affinity policy, not a data partition — every
+// replica holds the full index — so when a shard's owner is down the
+// router falls back to any healthy replica and no query is lost.
+//
+// Replica health is probed periodically (GET /healthz): a replica is
+// marked down after DownAfter consecutive failures and readmitted
+// after UpAfter consecutive successes, with queries routing around it
+// the whole time. The probe also records the replica's serving epoch
+// and vertex count from the X-Reachlab-* headers, so /stats can show
+// whether an index reload has landed on every replica. Graceful
+// drain (POST /admin/drain) stops routing new queries to a replica
+// and marks it drained once its outstanding count hits zero.
+package fleet
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Mode selects how the router spreads traffic across replicas.
+type Mode string
+
+const (
+	// Replicated routes every query to the least-loaded healthy
+	// replica.
+	Replicated Mode = "replicated"
+	// Sharded routes each pair to the replica owning its source's
+	// shard, falling back to any healthy replica when the owner is
+	// out.
+	Sharded Mode = "sharded"
+)
+
+// ReplicaState is the router's view of one replica.
+type ReplicaState int32
+
+const (
+	// StateUp: healthy, receiving traffic.
+	StateUp ReplicaState = iota
+	// StateDown: failed DownAfter consecutive probes; no traffic
+	// until it passes UpAfter consecutive probes.
+	StateDown
+	// StateDraining: operator-initiated drain; no new traffic,
+	// outstanding requests finishing.
+	StateDraining
+	// StateDrained: drain complete (outstanding hit zero); stays out
+	// of rotation until readmitted.
+	StateDrained
+)
+
+func (s ReplicaState) String() string {
+	switch s {
+	case StateUp:
+		return "up"
+	case StateDown:
+		return "down"
+	case StateDraining:
+		return "draining"
+	case StateDrained:
+		return "drained"
+	}
+	return fmt.Sprintf("state(%d)", int32(s))
+}
+
+// replica is the router's bookkeeping for one backend. The health
+// loop owns fails/oks (probed one round at a time); everything else
+// is atomic because request goroutines read and update it.
+type replica struct {
+	addr string // host:port, the admin-facing name
+	base string // http://host:port
+
+	state       atomic.Int32
+	outstanding atomic.Int64
+	epoch       atomic.Uint64 // last epoch seen on a probe (0 = unknown)
+	vertices    atomic.Int64  // last vertex count seen on a probe
+	forwards    atomic.Int64  // requests sent (including retries)
+	errors      atomic.Int64  // transport errors + 5xx from this replica
+
+	fails, oks int // consecutive probe outcomes; health-loop private
+}
+
+func (r *replica) getState() ReplicaState { return ReplicaState(r.state.Load()) }
+func (r *replica) setState(s ReplicaState) {
+	r.state.Store(int32(s))
+}
+
+// ReplicaStatus is one replica's externally visible state.
+type ReplicaStatus struct {
+	Addr        string `json:"addr"`
+	State       string `json:"state"`
+	Outstanding int64  `json:"outstanding"`
+	Epoch       uint64 `json:"epoch"`
+	Vertices    int64  `json:"vertices"`
+	Forwards    int64  `json:"forwards"`
+	Errors      int64  `json:"errors"`
+}
+
+// Options configures a Fleet. The zero value gives sane defaults.
+type Options struct {
+	// Mode is Replicated (default) or Sharded.
+	Mode Mode
+	// CheckInterval is the health-probe period (default 500ms).
+	CheckInterval time.Duration
+	// ProbeTimeout bounds one health probe (default 2s).
+	ProbeTimeout time.Duration
+	// ProxyTimeout bounds one forwarded request attempt (default 10s).
+	ProxyTimeout time.Duration
+	// DownAfter is the consecutive probe failures before a replica is
+	// marked down (default 2).
+	DownAfter int
+	// UpAfter is the consecutive probe successes before a down
+	// replica is readmitted (default 2).
+	UpAfter int
+	// MaxAttempts is the per-query forwarding budget across replicas
+	// and retry rounds (default 4 × the replica count).
+	MaxAttempts int
+	// RetryBackoff is the pause between retry rounds once every
+	// candidate replica has been tried (default 25ms).
+	RetryBackoff time.Duration
+	// MaxBatch caps the pair count of one /reach/batch request
+	// (default 8192, matching the replica-side default).
+	MaxBatch int
+	// Client issues probes and forwards; nil uses a private client
+	// with sensible connection pooling.
+	Client *http.Client
+	// Obs receives router counters and latency histograms; nil
+	// disables instrumentation.
+	Obs *obs.Registry
+}
+
+func (o Options) mode() Mode {
+	if o.Mode == "" {
+		return Replicated
+	}
+	return o.Mode
+}
+
+func (o Options) checkInterval() time.Duration {
+	if o.CheckInterval <= 0 {
+		return 500 * time.Millisecond
+	}
+	return o.CheckInterval
+}
+
+func (o Options) probeTimeout() time.Duration {
+	if o.ProbeTimeout <= 0 {
+		return 2 * time.Second
+	}
+	return o.ProbeTimeout
+}
+
+func (o Options) proxyTimeout() time.Duration {
+	if o.ProxyTimeout <= 0 {
+		return 10 * time.Second
+	}
+	return o.ProxyTimeout
+}
+
+func (o Options) downAfter() int {
+	if o.DownAfter <= 0 {
+		return 2
+	}
+	return o.DownAfter
+}
+
+func (o Options) upAfter() int {
+	if o.UpAfter <= 0 {
+		return 2
+	}
+	return o.UpAfter
+}
+
+func (o Options) maxAttempts(replicas int) int {
+	if o.MaxAttempts > 0 {
+		return o.MaxAttempts
+	}
+	return 4 * replicas
+}
+
+func (o Options) retryBackoff() time.Duration {
+	if o.RetryBackoff <= 0 {
+		return 25 * time.Millisecond
+	}
+	return o.RetryBackoff
+}
+
+func (o Options) maxBatch() int {
+	if o.MaxBatch <= 0 {
+		return 8192
+	}
+	return o.MaxBatch
+}
+
+// Fleet is the replica pool plus its router. Create with New, start
+// health checking with Start, serve it as an http.Handler, stop with
+// Close.
+type Fleet struct {
+	opts     Options
+	mode     Mode
+	replicas []*replica // fixed order; position = shard index
+	httpc    *http.Client
+	mux      *http.ServeMux
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	loopDone chan struct{}
+
+	// Metric handles, resolved once.
+	reg         *obs.Registry
+	unavailable *obs.Counter
+	retries     *obs.Counter
+	probeFails  *obs.Counter
+	healthyG    *obs.Gauge
+	proxyHist   *obs.Histogram
+}
+
+// New builds a fleet over the given replica addresses (host:port or
+// http:// URLs). The order is significant in Sharded mode: position
+// in the list is the shard index.
+func New(addrs []string, opts Options) (*Fleet, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("fleet: no replicas")
+	}
+	reg := opts.Obs
+	f := &Fleet{
+		opts:     opts,
+		mode:     opts.mode(),
+		httpc:    opts.Client,
+		stop:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+
+		reg:         reg,
+		unavailable: reg.Counter("fleet_unavailable_total"),
+		retries:     reg.Counter("fleet_retries_total"),
+		probeFails:  reg.Counter("fleet_probe_failures_total"),
+		healthyG:    reg.Gauge("fleet_healthy_replicas"),
+		proxyHist:   reg.Histogram("fleet_proxy_seconds", obs.LatencyBuckets),
+	}
+	if f.mode != Replicated && f.mode != Sharded {
+		return nil, fmt.Errorf("fleet: unknown mode %q", opts.Mode)
+	}
+	seen := make(map[string]bool, len(addrs))
+	for _, a := range addrs {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		base := a
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		addr := strings.TrimPrefix(strings.TrimPrefix(base, "http://"), "https://")
+		if seen[addr] {
+			return nil, fmt.Errorf("fleet: duplicate replica %s", addr)
+		}
+		seen[addr] = true
+		r := &replica{addr: addr, base: strings.TrimSuffix(base, "/")}
+		// Replicas start down and are admitted by their first probes,
+		// so a dead address never receives traffic.
+		r.setState(StateDown)
+		f.replicas = append(f.replicas, r)
+	}
+	if len(f.replicas) == 0 {
+		return nil, fmt.Errorf("fleet: no replicas")
+	}
+	if f.httpc == nil {
+		f.httpc = &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        4 * len(f.replicas) * 16,
+				MaxIdleConnsPerHost: 64,
+				IdleConnTimeout:     60 * time.Second,
+			},
+		}
+	}
+	f.initMux()
+	return f, nil
+}
+
+// Start probes every replica once synchronously (so a fleet over live
+// replicas serves immediately) and then launches the periodic health
+// loop.
+func (f *Fleet) Start() {
+	f.probeAll()
+	go f.healthLoop()
+}
+
+// Close stops the health loop. In-flight forwarded requests finish on
+// their own.
+func (f *Fleet) Close() {
+	f.stopOnce.Do(func() { close(f.stop) })
+	<-f.loopDone
+}
+
+func (f *Fleet) healthLoop() {
+	defer close(f.loopDone)
+	t := time.NewTicker(f.opts.checkInterval())
+	defer t.Stop()
+	for {
+		select {
+		case <-f.stop:
+			return
+		case <-t.C:
+			f.probeAll()
+		}
+	}
+}
+
+// probeAll checks every replica in parallel and applies the state
+// transitions. One round completes before the next starts, so the
+// fails/oks counters need no locking.
+func (f *Fleet) probeAll() {
+	var wg sync.WaitGroup
+	for _, r := range f.replicas {
+		wg.Add(1)
+		go func(r *replica) {
+			defer wg.Done()
+			f.probe(r)
+		}(r)
+	}
+	wg.Wait()
+	f.healthyG.Set(int64(len(f.healthy())))
+}
+
+// probe runs one health check against r and advances its state
+// machine.
+func (f *Fleet) probe(r *replica) {
+	ok := f.probeOnce(r)
+	if ok {
+		r.oks++
+		r.fails = 0
+	} else {
+		r.fails++
+		r.oks = 0
+		f.probeFails.Inc()
+	}
+	switch r.getState() {
+	case StateUp:
+		if r.fails >= f.opts.downAfter() {
+			r.setState(StateDown)
+		}
+	case StateDown:
+		if r.oks >= f.opts.upAfter() {
+			r.setState(StateUp)
+		}
+	case StateDraining:
+		// A draining replica that stops answering is down, drained or
+		// not (mid-drain kill). One that finished its outstanding work
+		// is drained.
+		if r.fails >= f.opts.downAfter() {
+			r.setState(StateDown)
+		} else if r.outstanding.Load() == 0 {
+			r.setState(StateDrained)
+		}
+	case StateDrained:
+		// Parked until readmitted.
+	}
+}
+
+// probeOnce is the wire part of a probe: GET /healthz under the probe
+// timeout, recording the epoch/vertices headers on success.
+func (f *Fleet) probeOnce(r *replica) bool {
+	req, err := http.NewRequest(http.MethodGet, r.base+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	ctx, cancel := contextWithTimeout(f.opts.probeTimeout())
+	defer cancel()
+	resp, err := f.httpc.Do(req.WithContext(ctx))
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	if e, err := strconv.ParseUint(resp.Header.Get("X-Reachlab-Epoch"), 10, 64); err == nil {
+		r.epoch.Store(e)
+	}
+	if v, err := strconv.ParseInt(resp.Header.Get("X-Reachlab-Vertices"), 10, 64); err == nil {
+		r.vertices.Store(v)
+	}
+	return true
+}
+
+// healthy returns the replicas currently accepting traffic.
+func (f *Fleet) healthy() []*replica {
+	var up []*replica
+	for _, r := range f.replicas {
+		if r.getState() == StateUp {
+			up = append(up, r)
+		}
+	}
+	return up
+}
+
+// pick chooses the next replica to try: the preferred one (shard
+// owner) when it is up and untried, otherwise the least-outstanding
+// healthy untried replica. Ties break by list position, so selection
+// is deterministic under equal load.
+func (f *Fleet) pick(preferred *replica, tried map[*replica]bool) *replica {
+	if preferred != nil && preferred.getState() == StateUp && !tried[preferred] {
+		return preferred
+	}
+	var best *replica
+	var bestOut int64
+	for _, r := range f.replicas {
+		if r.getState() != StateUp || tried[r] {
+			continue
+		}
+		out := r.outstanding.Load()
+		if best == nil || out < bestOut {
+			best, bestOut = r, out
+		}
+	}
+	return best
+}
+
+// find resolves an admin-supplied replica name (host:port, with or
+// without a scheme).
+func (f *Fleet) find(name string) *replica {
+	name = strings.TrimSuffix(strings.TrimPrefix(strings.TrimPrefix(strings.TrimSpace(name), "http://"), "https://"), "/")
+	for _, r := range f.replicas {
+		if r.addr == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// Drain starts a graceful drain of the named replica: it leaves the
+// routing set immediately and is marked drained once its outstanding
+// requests finish.
+func (f *Fleet) Drain(name string) error {
+	r := f.find(name)
+	if r == nil {
+		return fmt.Errorf("fleet: unknown replica %q", name)
+	}
+	switch r.getState() {
+	case StateDraining, StateDrained:
+		return nil
+	}
+	if r.outstanding.Load() == 0 {
+		r.setState(StateDrained)
+	} else {
+		r.setState(StateDraining)
+	}
+	return nil
+}
+
+// Readmit returns a drained or down replica to probation: it rejoins
+// the routing set after UpAfter consecutive successful probes.
+func (f *Fleet) Readmit(name string) error {
+	r := f.find(name)
+	if r == nil {
+		return fmt.Errorf("fleet: unknown replica %q", name)
+	}
+	if r.getState() == StateUp {
+		return nil
+	}
+	r.setState(StateDown)
+	return nil
+}
+
+// Snapshot reports every replica's current status, in shard order.
+func (f *Fleet) Snapshot() []ReplicaStatus {
+	out := make([]ReplicaStatus, len(f.replicas))
+	for i, r := range f.replicas {
+		out[i] = ReplicaStatus{
+			Addr:        r.addr,
+			State:       r.getState().String(),
+			Outstanding: r.outstanding.Load(),
+			Epoch:       r.epoch.Load(),
+			Vertices:    r.vertices.Load(),
+			Forwards:    r.forwards.Load(),
+			Errors:      r.errors.Load(),
+		}
+	}
+	return out
+}
+
+// Vertices returns the vertex-ID space reported by the fleet's
+// replicas (the maximum seen, 0 when no probe has succeeded yet).
+func (f *Fleet) Vertices() int64 {
+	var n int64
+	for _, r := range f.replicas {
+		if v := r.vertices.Load(); v > n {
+			n = v
+		}
+	}
+	return n
+}
+
+// Mode returns the routing mode.
+func (f *Fleet) Mode() Mode { return f.mode }
+
+// NumReplicas returns the fixed replica count (shard count in Sharded
+// mode).
+func (f *Fleet) NumReplicas() int { return len(f.replicas) }

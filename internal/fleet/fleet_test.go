@@ -1,0 +1,651 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeReplica is a deterministic stand-in for a drserve replica: it
+// answers /reach and /reach/batch from a pure function of the pair,
+// serves /healthz with the epoch/vertices headers, and records every
+// pair it answered — so router tests can assert both the answers and
+// the routing without building a real index.
+type fakeReplica struct {
+	id       int
+	vertices int
+
+	mu         sync.Mutex
+	served     [][2]int64 // every pair answered, in arrival order
+	batchCalls int
+
+	epoch      atomic.Uint64
+	failHealth atomic.Bool // healthz → 503
+	failReach  atomic.Bool // reach endpoints → 500
+}
+
+// ans is the ground truth every fake replica agrees on.
+func fakeAnswer(s, t int64) bool { return (s*31+t)%3 == 0 }
+
+func newFakeReplica(id, vertices int) *fakeReplica {
+	f := &fakeReplica{id: id, vertices: vertices}
+	f.epoch.Store(1)
+	return f
+}
+
+func (f *fakeReplica) servedPairs() [][2]int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([][2]int64(nil), f.served...)
+}
+
+func (f *fakeReplica) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.Method == http.MethodGet && r.URL.Path == "/healthz":
+		if f.failHealth.Load() {
+			http.Error(w, "injected unhealthy", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("X-Reachlab-Epoch", strconv.FormatUint(f.epoch.Load(), 10))
+		w.Header().Set("X-Reachlab-Vertices", strconv.Itoa(f.vertices))
+		fmt.Fprintln(w, "ok")
+	case r.Method == http.MethodGet && r.URL.Path == "/reach":
+		if f.failReach.Load() {
+			http.Error(w, "injected failure", http.StatusInternalServerError)
+			return
+		}
+		s, err1 := strconv.ParseInt(r.URL.Query().Get("s"), 10, 64)
+		t, err2 := strconv.ParseInt(r.URL.Query().Get("t"), 10, 64)
+		if err1 != nil || err2 != nil || s < 0 || t < 0 || s >= int64(f.vertices) || t >= int64(f.vertices) {
+			http.Error(w, "bad pair", http.StatusBadRequest)
+			return
+		}
+		f.mu.Lock()
+		f.served = append(f.served, [2]int64{s, t})
+		f.mu.Unlock()
+		w.Header().Set("X-Reachlab-Epoch", strconv.FormatUint(f.epoch.Load(), 10))
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"s":%d,"t":%d,"reachable":%v}`+"\n", s, t, fakeAnswer(s, t))
+	case r.Method == http.MethodPost && r.URL.Path == "/reach/batch":
+		if f.failReach.Load() {
+			http.Error(w, "injected failure", http.StatusInternalServerError)
+			return
+		}
+		var req struct {
+			Pairs [][2]int64 `json:"pairs"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		results := make([]bool, len(req.Pairs))
+		f.mu.Lock()
+		f.batchCalls++
+		for i, p := range req.Pairs {
+			f.served = append(f.served, p)
+			results[i] = fakeAnswer(p[0], p[1])
+		}
+		f.mu.Unlock()
+		w.Header().Set("X-Reachlab-Epoch", strconv.FormatUint(f.epoch.Load(), 10))
+		w.Header().Set("Content-Type", "application/json")
+		// The client may have hung up mid-test; a short write here is
+		// its problem, not the fake replica's.
+		_ = json.NewEncoder(w).Encode(map[string]any{"count": len(results), "results": results})
+	case r.Method == http.MethodPost && r.URL.Path == "/admin/reload":
+		e := f.epoch.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"epoch":%d,"vertices":%d}`+"\n", e, f.vertices)
+	default:
+		http.Error(w, "not found", http.StatusNotFound)
+	}
+}
+
+// testFleet spins up n fake replicas (optionally wrapped) and a
+// started Fleet over them with snappy test timings.
+func testFleet(t *testing.T, n int, mode Mode, wrap func(i int, h http.Handler) http.Handler, opt func(*Options)) ([]*fakeReplica, []*httptest.Server, *Fleet) {
+	t.Helper()
+	fakes := make([]*fakeReplica, n)
+	servers := make([]*httptest.Server, n)
+	addrs := make([]string, n)
+	for i := range fakes {
+		fakes[i] = newFakeReplica(i, 100)
+		var h http.Handler = fakes[i]
+		if wrap != nil {
+			h = wrap(i, h)
+		}
+		servers[i] = httptest.NewServer(h)
+		t.Cleanup(servers[i].Close)
+		addrs[i] = strings.TrimPrefix(servers[i].URL, "http://")
+	}
+	opts := Options{
+		Mode:          mode,
+		CheckInterval: 20 * time.Millisecond,
+		ProbeTimeout:  time.Second,
+		DownAfter:     2,
+		UpAfter:       2,
+		RetryBackoff:  5 * time.Millisecond,
+	}
+	if opt != nil {
+		opt(&opts)
+	}
+	f, err := New(addrs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	t.Cleanup(f.Close)
+	return fakes, servers, f
+}
+
+// waitFor polls cond until it holds or the deadline trips.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func stateOf(f *Fleet, addr string) string {
+	for _, s := range f.Snapshot() {
+		if s.Addr == addr {
+			return s.State
+		}
+	}
+	return "missing"
+}
+
+// --- splitBatch: the pure split/merge invariants -------------------
+
+func TestSplitBatchInvariants(t *testing.T) {
+	pairs := [][2]int64{
+		{5, 1}, {0, 2}, {5, 1}, {3, 3}, {4, 0}, {0, 2}, {6, 6}, {5, 1}, {1, 9},
+	}
+	for _, k := range []int{1, 2, 3, 7} {
+		plan := splitBatch(pairs, k)
+
+		// Duplicates collapsed: uniq holds each distinct pair once, in
+		// first-appearance order.
+		seen := make(map[[2]int64]bool)
+		for _, p := range plan.uniq {
+			if seen[p] {
+				t.Fatalf("k=%d: pair %v appears twice in uniq", k, p)
+			}
+			seen[p] = true
+		}
+		if len(plan.uniq) != 6 {
+			t.Fatalf("k=%d: %d unique pairs, want 6", k, len(plan.uniq))
+		}
+
+		// Caller order: posToUniq maps every position back to its own
+		// pair.
+		for i, u := range plan.posToUniq {
+			if plan.uniq[u] != pairs[i] {
+				t.Fatalf("k=%d: position %d maps to %v, want %v", k, i, plan.uniq[u], pairs[i])
+			}
+		}
+
+		// Partition: every uniq index in exactly one group, and in the
+		// group its source owns.
+		covered := make([]int, len(plan.uniq))
+		for g, group := range plan.groups {
+			for _, u := range group {
+				covered[u]++
+				if want := int(plan.uniq[u][0] % int64(k)); want != g {
+					t.Fatalf("k=%d: pair %v in group %d, want %d", k, plan.uniq[u], g, want)
+				}
+			}
+		}
+		for u, c := range covered {
+			if c != 1 {
+				t.Fatalf("k=%d: uniq %d covered %d times", k, u, c)
+			}
+		}
+	}
+}
+
+// --- sharded batch over real HTTP: order invariance + dedup --------
+
+func TestShardedBatchMergeOrderAndDedup(t *testing.T) {
+	fakes, _, f := testFleet(t, 3, Sharded, nil, nil)
+	waitFor(t, "all replicas up", func() bool { return len(f.healthy()) == 3 })
+
+	router := httptest.NewServer(f)
+	defer router.Close()
+
+	// A batch with duplicates and interleaved shard owners.
+	pairs := [][2]int64{
+		{0, 7}, {1, 7}, {2, 7}, {0, 7}, {4, 1}, {5, 2}, {3, 9}, {1, 7}, {8, 8}, {0, 7},
+	}
+	raw, _ := json.Marshal(map[string]any{"pairs": pairs})
+	resp, err := http.Post(router.URL+"/reach/batch", "application/json", strings.NewReader(string(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	var body struct {
+		Count   int    `json:"count"`
+		Results []bool `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+
+	// Answers in caller order.
+	if body.Count != len(pairs) || len(body.Results) != len(pairs) {
+		t.Fatalf("answered %d/%d results for %d pairs", body.Count, len(body.Results), len(pairs))
+	}
+	for i, p := range pairs {
+		if want := fakeAnswer(p[0], p[1]); body.Results[i] != want {
+			t.Errorf("pair %d %v: got %v, want %v", i, p, body.Results[i], want)
+		}
+	}
+	// Epoch header present when every shard serves the same epoch.
+	if e := resp.Header.Get("X-Reachlab-Epoch"); e != "1" {
+		t.Errorf("uniform epoch header = %q, want \"1\"", e)
+	}
+
+	// Each replica saw only its shard's sources, and each unique pair
+	// was asked exactly once across the fleet (duplicates collapsed).
+	total := 0
+	askedOnce := make(map[[2]int64]int)
+	for i, fr := range fakes {
+		for _, p := range fr.servedPairs() {
+			if int(p[0]%3) != i {
+				t.Errorf("replica %d served source %d (shard %d)", i, p[0], p[0]%3)
+			}
+			askedOnce[p]++
+			total++
+		}
+	}
+	if total != 7 {
+		t.Errorf("fleet served %d pairs, want 7 unique", total)
+	}
+	for p, c := range askedOnce {
+		if c != 1 {
+			t.Errorf("pair %v asked %d times, want 1", p, c)
+		}
+	}
+}
+
+// TestShardedSingleQueryAffinity: single queries land on the shard
+// owner when it is healthy.
+func TestShardedSingleQueryAffinity(t *testing.T) {
+	fakes, _, f := testFleet(t, 3, Sharded, nil, nil)
+	waitFor(t, "all replicas up", func() bool { return len(f.healthy()) == 3 })
+	router := httptest.NewServer(f)
+	defer router.Close()
+
+	for s := int64(0); s < 9; s++ {
+		resp, err := http.Get(fmt.Sprintf("%s/reach?s=%d&t=1", router.URL, s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body struct {
+			Reachable bool `json:"reachable"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if want := fakeAnswer(s, 1); body.Reachable != want {
+			t.Errorf("reach(%d,1) = %v, want %v", s, body.Reachable, want)
+		}
+	}
+	for i, fr := range fakes {
+		for _, p := range fr.servedPairs() {
+			if int(p[0]%3) != i {
+				t.Errorf("replica %d served source %d", i, p[0])
+			}
+		}
+		if n := len(fr.servedPairs()); n != 3 {
+			t.Errorf("replica %d served %d queries, want 3", i, n)
+		}
+	}
+}
+
+// --- health flap: down, routed around, readmitted ------------------
+
+// TestHealthFlapReadmission marks a replica down mid-traffic and
+// brings it back: no query may fail at any point, traffic routes
+// around the outage, and the replica serves again after readmission.
+func TestHealthFlapReadmission(t *testing.T) {
+	fakes, servers, f := testFleet(t, 2, Replicated, nil, nil)
+	waitFor(t, "all replicas up", func() bool { return len(f.healthy()) == 2 })
+	router := httptest.NewServer(f)
+	defer router.Close()
+	flappyAddr := strings.TrimPrefix(servers[1].URL, "http://")
+
+	// Background query pressure for the whole flap cycle; every
+	// response must be a correct 200.
+	stop := make(chan struct{})
+	var queryErrs atomic.Int64
+	var sent atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s, u := int64((w*13+i)%100), int64((w*7+i*3)%100)
+				resp, err := http.Get(fmt.Sprintf("%s/reach?s=%d&t=%d", router.URL, s, u))
+				if err != nil {
+					queryErrs.Add(1)
+					continue
+				}
+				var body struct {
+					Reachable bool `json:"reachable"`
+				}
+				err = json.NewDecoder(resp.Body).Decode(&body)
+				resp.Body.Close()
+				sent.Add(1)
+				if err != nil || resp.StatusCode != http.StatusOK || body.Reachable != fakeAnswer(s, u) {
+					queryErrs.Add(1)
+				}
+			}
+		}(w)
+	}
+
+	// Flap: replica 1 starts failing health checks (still answering
+	// queries it already accepted — the probe is the signal).
+	fakes[1].failHealth.Store(true)
+	fakes[1].failReach.Store(true)
+	waitFor(t, "replica marked down", func() bool { return stateOf(f, flappyAddr) == "down" })
+
+	// Sustained traffic during the outage.
+	base := sent.Load()
+	waitFor(t, "traffic during outage", func() bool { return sent.Load() > base+50 })
+
+	// Recovery and readmission.
+	fakes[1].failHealth.Store(false)
+	fakes[1].failReach.Store(false)
+	waitFor(t, "replica readmitted", func() bool { return stateOf(f, flappyAddr) == "up" })
+
+	// Traffic lands on the readmitted replica again.
+	served := len(fakes[1].servedPairs())
+	waitFor(t, "readmitted replica serving", func() bool { return len(fakes[1].servedPairs()) > served })
+
+	close(stop)
+	wg.Wait()
+	if queryErrs.Load() != 0 {
+		t.Fatalf("%d of %d queries failed across the flap", queryErrs.Load(), sent.Load())
+	}
+}
+
+// --- drain: graceful removal, then mid-drain kill ------------------
+
+func TestDrainAndMidDrainKill(t *testing.T) {
+	fakes, servers, f := testFleet(t, 3, Replicated, nil, nil)
+	_ = fakes
+	waitFor(t, "all replicas up", func() bool { return len(f.healthy()) == 3 })
+	router := httptest.NewServer(f)
+	defer router.Close()
+	drainAddr := strings.TrimPrefix(servers[2].URL, "http://")
+
+	// Drain replica 2 via the admin endpoint.
+	resp, err := http.Post(router.URL+"/admin/drain?replica="+drainAddr, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("drain status %d", resp.StatusCode)
+	}
+	waitFor(t, "replica drained", func() bool { return stateOf(f, drainAddr) == "drained" })
+
+	// Queries keep flowing with the replica out, and none land on it.
+	before := len(fakes[2].servedPairs())
+	for i := 0; i < 30; i++ {
+		resp, err := http.Get(fmt.Sprintf("%s/reach?s=%d&t=%d", router.URL, i%100, (i*3)%100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query status %d with a drained replica", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	if after := len(fakes[2].servedPairs()); after != before {
+		t.Fatalf("drained replica served %d new queries", after-before)
+	}
+
+	// Mid-drain kill: the drained replica dies outright; the fleet
+	// marks it down instead of readmitting a corpse.
+	servers[2].Close()
+	if err := f.Readmit(drainAddr); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "killed replica stays down", func() bool { return stateOf(f, drainAddr) == "down" })
+	for i := 0; i < 10; i++ {
+		resp, err := http.Get(fmt.Sprintf("%s/reach?s=%d&t=1", router.URL, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query status %d after mid-drain kill", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}
+
+// --- chaos wrapper -------------------------------------------------
+
+// TestChaosDeterministicSchedule: the same seed yields the same fault
+// schedule over a sequential request stream.
+func TestChaosDeterministicSchedule(t *testing.T) {
+	run := func(seed int64) []int {
+		inner := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			w.WriteHeader(http.StatusOK)
+		})
+		c := NewChaos(inner, ChaosOptions{Seed: seed, DropRate: 0.2, ErrorRate: 0.2, BurstLen: 2})
+		srv := httptest.NewServer(c)
+		defer srv.Close()
+		var outcomes []int
+		for i := 0; i < 60; i++ {
+			resp, err := http.Get(srv.URL + "/x")
+			switch {
+			case err != nil:
+				outcomes = append(outcomes, -1) // dropped
+			case resp.StatusCode == http.StatusOK:
+				resp.Body.Close()
+				outcomes = append(outcomes, 0)
+			default:
+				resp.Body.Close()
+				outcomes = append(outcomes, resp.StatusCode)
+			}
+		}
+		return outcomes
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at request %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	diff := run(8)
+	same := true
+	for i := range a {
+		if a[i] != diff[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestRouterAbsorbsChaos: with drops, delays, and 5xx bursts injected
+// on every replica (health exempted so the replicas stay in
+// rotation), the router's retries must still answer every query
+// correctly — zero failures reach the client.
+func TestRouterAbsorbsChaos(t *testing.T) {
+	chaos := make([]*Chaos, 3)
+	_, _, f := testFleet(t, 3, Sharded, func(i int, h http.Handler) http.Handler {
+		chaos[i] = NewChaos(h, ChaosOptions{
+			Seed:         int64(100 + i),
+			DropRate:     0.08,
+			DelayRate:    0.10,
+			Delay:        2 * time.Millisecond,
+			ErrorRate:    0.05,
+			BurstLen:     2,
+			ExemptHealth: true,
+		})
+		return chaos[i]
+	}, nil)
+	waitFor(t, "all replicas up", func() bool { return len(f.healthy()) == 3 })
+	router := httptest.NewServer(f)
+	defer router.Close()
+
+	client := router.Client()
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				s, u := int64((w*17+i)%100), int64((w+i*5)%100)
+				if i%2 == 0 {
+					resp, err := client.Get(fmt.Sprintf("%s/reach?s=%d&t=%d", router.URL, s, u))
+					if err != nil {
+						failures.Add(1)
+						continue
+					}
+					var body struct {
+						Reachable bool `json:"reachable"`
+					}
+					err = json.NewDecoder(resp.Body).Decode(&body)
+					resp.Body.Close()
+					if err != nil || resp.StatusCode != http.StatusOK || body.Reachable != fakeAnswer(s, u) {
+						failures.Add(1)
+					}
+					continue
+				}
+				pairs := [][2]int64{{s, u}, {u, s}, {s, s}}
+				raw, _ := json.Marshal(map[string]any{"pairs": pairs})
+				resp, err := client.Post(router.URL+"/reach/batch", "application/json", strings.NewReader(string(raw)))
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				var body struct {
+					Results []bool `json:"results"`
+				}
+				err = json.NewDecoder(resp.Body).Decode(&body)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK || len(body.Results) != len(pairs) {
+					failures.Add(1)
+					continue
+				}
+				for k, p := range pairs {
+					if body.Results[k] != fakeAnswer(p[0], p[1]) {
+						failures.Add(1)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if failures.Load() != 0 {
+		t.Fatalf("%d failures leaked through the router's retries", failures.Load())
+	}
+	var drops, fails int64
+	for _, c := range chaos {
+		d, _, e := c.Counts()
+		drops += d
+		fails += e
+	}
+	if drops+fails == 0 {
+		t.Fatal("chaos injected nothing; the test proved nothing")
+	}
+}
+
+// TestFleetStatsAndReloadFanout: /stats reports per-replica epochs;
+// /admin/reload advances every replica and the outcome says so.
+func TestFleetStatsAndReloadFanout(t *testing.T) {
+	fakes, _, f := testFleet(t, 3, Replicated, nil, nil)
+	waitFor(t, "all replicas up", func() bool { return len(f.healthy()) == 3 })
+	router := httptest.NewServer(f)
+	defer router.Close()
+
+	resp, err := http.Post(router.URL+"/admin/reload", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload status %d", resp.StatusCode)
+	}
+	var rr struct {
+		Replicas []struct {
+			Addr  string `json:"addr"`
+			Epoch uint64 `json:"epoch"`
+			Error string `json:"error"`
+		} `json:"replicas"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Replicas) != 3 {
+		t.Fatalf("reload reported %d replicas", len(rr.Replicas))
+	}
+	for _, r := range rr.Replicas {
+		if r.Error != "" || r.Epoch != 2 {
+			t.Errorf("replica %s: epoch %d, error %q", r.Addr, r.Epoch, r.Error)
+		}
+	}
+	for i, fr := range fakes {
+		if e := fr.epoch.Load(); e != 2 {
+			t.Errorf("replica %d epoch %d after fleet reload, want 2", i, e)
+		}
+	}
+
+	// /stats shows the new epochs once a probe lands (the reload
+	// fan-out records them immediately).
+	sresp, err := http.Get(router.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var stats struct {
+		Vertices int64  `json:"vertices"`
+		Mode     string `json:"mode"`
+		Healthy  int    `json:"healthy"`
+		Replicas []struct {
+			Addr  string `json:"addr"`
+			State string `json:"state"`
+			Epoch uint64 `json:"epoch"`
+		} `json:"replicas"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Vertices != 100 || stats.Mode != "replicated" || stats.Healthy != 3 {
+		t.Errorf("stats = %+v", stats)
+	}
+	for _, r := range stats.Replicas {
+		if r.Epoch != 2 {
+			t.Errorf("replica %s epoch %d in /stats, want 2", r.Addr, r.Epoch)
+		}
+	}
+}

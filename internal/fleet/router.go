@@ -1,0 +1,468 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// The router half of the fleet: ServeHTTP fans /reach and
+// /reach/batch across the replica pool with bounded retries, serves
+// fleet-level /stats and /healthz, and exposes the admin verbs
+// (drain, readmit, fleet-wide reload).
+//
+// Endpoints:
+//
+//	GET  /reach?s=&t=                → proxied single query
+//	POST /reach/batch                → split/merged batch query
+//	GET  /stats                      → {"vertices":N,"mode":...,"healthy":K,"replicas":[...]}
+//	GET  /healthz                    → 200 while ≥1 replica is up
+//	POST /admin/drain?replica=a:p    → graceful drain
+//	POST /admin/readmit?replica=a:p  → return a drained/down replica to probation
+//	POST /admin/reload               → fan POST /admin/reload to every replica
+//	GET  /metrics, /trace, /debug/pprof/ (obs.Mount)
+
+func (f *Fleet) initMux() {
+	f.mux = http.NewServeMux()
+	f.mux.HandleFunc("GET /reach", f.handleReach)
+	f.mux.HandleFunc("POST /reach/batch", f.handleBatch)
+	f.mux.HandleFunc("GET /stats", f.handleStats)
+	f.mux.HandleFunc("GET /healthz", f.handleHealthz)
+	f.mux.HandleFunc("POST /admin/drain", f.handleDrain)
+	f.mux.HandleFunc("POST /admin/readmit", f.handleReadmit)
+	f.mux.HandleFunc("POST /admin/reload", f.handleReload)
+	obs.Mount(f.mux, f.reg)
+}
+
+// ServeHTTP implements http.Handler.
+func (f *Fleet) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.mux.ServeHTTP(w, r)
+}
+
+func contextWithTimeout(d time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), d)
+}
+
+// drain discards a response body so the connection can be reused.
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20)) //nolint:errcheck
+}
+
+// errAllReplicasFailed reports an exhausted retry budget.
+var errAllReplicasFailed = errors.New("fleet: no replica answered within the retry budget")
+
+// forward sends one request to the pool with retries: prefer the
+// shard owner, fail over to the least-loaded healthy replica, and
+// once every candidate has been tried, back off briefly and start a
+// fresh round — a replica marked down mid-flight gets routed around,
+// and one readmitted mid-flight picks queued work back up. The
+// response body (on success) and the serving replica are returned.
+func (f *Fleet) forward(preferred *replica, method, path string, body []byte) (*http.Response, []byte, *replica, error) {
+	attempts := f.opts.maxAttempts(len(f.replicas))
+	tried := make(map[*replica]bool)
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		r := f.pick(preferred, tried)
+		if r == nil {
+			// Every candidate tried (or none healthy): new round after
+			// a backoff so a flapping replica can come back.
+			tried = make(map[*replica]bool)
+			select {
+			case <-f.stop:
+				return nil, nil, nil, errAllReplicasFailed
+			case <-time.After(f.opts.retryBackoff()):
+			}
+			continue
+		}
+		if a > 0 {
+			f.retries.Inc()
+		}
+		tried[r] = true
+		resp, data, err := f.try(r, method, path, body)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return resp, data, r, nil
+	}
+	if lastErr == nil {
+		lastErr = errAllReplicasFailed
+	}
+	return nil, nil, nil, lastErr
+}
+
+// try issues one attempt against one replica, counting outstanding
+// work and errors. 5xx statuses and transport failures count against
+// the replica and are retryable; any other status is a final answer.
+func (f *Fleet) try(r *replica, method, path string, body []byte) (*http.Response, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, r.base+path, rd)
+	if err != nil {
+		return nil, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	ctx, cancel := contextWithTimeout(f.opts.proxyTimeout())
+	defer cancel()
+	r.outstanding.Add(1)
+	r.forwards.Add(1)
+	resp, err := f.httpc.Do(req.WithContext(ctx))
+	if err != nil {
+		r.outstanding.Add(-1)
+		r.errors.Add(1)
+		return nil, nil, fmt.Errorf("fleet: %s: %w", r.addr, err)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	resp.Body.Close()
+	r.outstanding.Add(-1)
+	if err != nil {
+		r.errors.Add(1)
+		return nil, nil, fmt.Errorf("fleet: %s: reading response: %w", r.addr, err)
+	}
+	if resp.StatusCode >= 500 {
+		r.errors.Add(1)
+		return nil, nil, fmt.Errorf("fleet: %s: status %d", r.addr, resp.StatusCode)
+	}
+	return resp, data, nil
+}
+
+// shardOwner returns the replica owning source s in Sharded mode
+// (nil in Replicated mode): shard(s) = s mod K over the fixed
+// replica list.
+func (f *Fleet) shardOwner(s int64) *replica {
+	if f.mode != Sharded || s < 0 {
+		return nil
+	}
+	return f.replicas[int(s%int64(len(f.replicas)))]
+}
+
+// fail counts and sends an HTTP error.
+func (f *Fleet) fail(w http.ResponseWriter, handler, msg string, code int) {
+	f.reg.Counter(obs.Label("fleet_http_errors_total", "handler", handler)).Inc()
+	http.Error(w, msg, code)
+}
+
+// handleReach proxies one single-pair query. The upstream response —
+// answer, client errors (400), and the epoch header — passes through
+// verbatim; only replica failures are absorbed by retries.
+func (f *Fleet) handleReach(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	f.reg.Counter(obs.Label("fleet_http_requests_total", "handler", "reach")).Inc()
+	var preferred *replica
+	if s, err := strconv.ParseInt(r.URL.Query().Get("s"), 10, 64); err == nil {
+		preferred = f.shardOwner(s)
+	}
+	resp, data, _, err := f.forward(preferred, http.MethodGet, "/reach?"+r.URL.RawQuery, nil)
+	if err != nil {
+		f.unavailable.Inc()
+		f.fail(w, "reach", err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	f.proxyHist.Observe(time.Since(start).Seconds())
+	copyResponse(w, resp, data)
+}
+
+// copyResponse relays an upstream response (status, content type,
+// epoch header, body) to the caller.
+func copyResponse(w http.ResponseWriter, resp *http.Response, data []byte) {
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if e := resp.Header.Get("X-Reachlab-Epoch"); e != "" {
+		w.Header().Set("X-Reachlab-Epoch", e)
+	}
+	w.WriteHeader(resp.StatusCode)
+	if _, err := w.Write(data); err != nil {
+		logDropped(err)
+	}
+}
+
+type batchRequest struct {
+	Pairs [][2]int64 `json:"pairs"`
+}
+
+type batchResponse struct {
+	Count   int    `json:"count"`
+	Results []bool `json:"results"`
+}
+
+// handleBatch splits a batch across the pool and merges the answers
+// back into caller order. In Replicated mode the whole (deduplicated)
+// batch goes to one replica; in Sharded mode each sub-batch goes to
+// its shard owner. Any sub-batch that exhausts its retries fails the
+// whole request — partial answers are never returned.
+func (f *Fleet) handleBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	f.reg.Counter(obs.Label("fleet_http_requests_total", "handler", "batch")).Inc()
+	maxBatch := f.opts.maxBatch()
+	r.Body = http.MaxBytesReader(w, r.Body, int64(maxBatch)*32+4096)
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			f.fail(w, "batch", fmt.Sprintf("request body over %d bytes", tooBig.Limit),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
+		f.fail(w, "batch", fmt.Sprintf("bad batch request: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(req.Pairs) > maxBatch {
+		f.fail(w, "batch", fmt.Sprintf("batch of %d pairs exceeds limit %d", len(req.Pairs), maxBatch),
+			http.StatusRequestEntityTooLarge)
+		return
+	}
+	if len(req.Pairs) == 0 {
+		writeJSON(w, batchResponse{Count: 0, Results: []bool{}})
+		return
+	}
+
+	plan := splitBatch(req.Pairs, f.shardCount())
+
+	// Resolve every shard group concurrently; answers land in the
+	// unique-pair slot table.
+	answers := make([]bool, len(plan.uniq))
+	epochs := make([]string, len(plan.groups))
+	errs := make([]error, len(plan.groups))
+	var wg sync.WaitGroup
+	for gi, group := range plan.groups {
+		if len(group) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(gi int, group []int) {
+			defer wg.Done()
+			epochs[gi], errs[gi] = f.resolveGroup(gi, group, plan.uniq, answers)
+		}(gi, group)
+	}
+	wg.Wait()
+	for gi, err := range errs {
+		if err != nil {
+			f.unavailable.Inc()
+			f.fail(w, "batch", fmt.Sprintf("shard %d: %v", gi, err), http.StatusBadGateway)
+			return
+		}
+	}
+
+	// Merge: expand unique answers back to every caller position.
+	results := make([]bool, len(req.Pairs))
+	for i, u := range plan.posToUniq {
+		results[i] = answers[u]
+	}
+	// The epoch header is only meaningful when one epoch served the
+	// whole batch; during a rolling reload sub-batches may differ, in
+	// which case it is omitted.
+	if e := uniformEpoch(epochs); e != "" {
+		w.Header().Set("X-Reachlab-Epoch", e)
+	}
+	f.proxyHist.Observe(time.Since(start).Seconds())
+	writeJSON(w, batchResponse{Count: len(results), Results: results})
+}
+
+// resolveGroup sends one shard's unique pairs as a sub-batch (owner
+// preferred, any healthy replica as fallback) and scatters the
+// answers into the slot table. Distinct groups write distinct slots,
+// so no locking is needed.
+func (f *Fleet) resolveGroup(shard int, group []int, uniq [][2]int64, answers []bool) (epoch string, err error) {
+	sub := batchRequest{Pairs: make([][2]int64, len(group))}
+	for k, u := range group {
+		sub.Pairs[k] = uniq[u]
+	}
+	body, err := json.Marshal(sub)
+	if err != nil {
+		return "", err
+	}
+	var preferred *replica
+	if f.mode == Sharded {
+		preferred = f.replicas[shard]
+	}
+	resp, data, _, err := f.forward(preferred, http.MethodPost, "/reach/batch", body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("replica status %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+	}
+	var br batchResponse
+	if err := json.Unmarshal(data, &br); err != nil {
+		return "", fmt.Errorf("decoding sub-batch response: %w", err)
+	}
+	if len(br.Results) != len(group) {
+		return "", fmt.Errorf("sub-batch of %d pairs got %d answers", len(group), len(br.Results))
+	}
+	for k, u := range group {
+		answers[u] = br.Results[k]
+	}
+	return resp.Header.Get("X-Reachlab-Epoch"), nil
+}
+
+// shardCount is the group fan-out of a batch: one group per replica
+// in Sharded mode, a single group in Replicated mode.
+func (f *Fleet) shardCount() int {
+	if f.mode == Sharded {
+		return len(f.replicas)
+	}
+	return 1
+}
+
+// uniformEpoch returns the epoch all non-empty groups agree on, or
+// "".
+func uniformEpoch(epochs []string) string {
+	u := ""
+	for _, e := range epochs {
+		if e == "" {
+			continue
+		}
+		if u == "" {
+			u = e
+		} else if u != e {
+			return ""
+		}
+	}
+	return u
+}
+
+func (f *Fleet) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	up := len(f.healthy())
+	if up == 0 {
+		http.Error(w, "no healthy replicas", http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, "ok (%d/%d replicas up)\n", up, len(f.replicas))
+}
+
+// handleStats reports the fleet topology and per-replica status —
+// including each replica's serving epoch, so an operator can confirm
+// a reload landed everywhere. The top-level "vertices" field keeps
+// the response drop-in compatible with a single replica's /stats for
+// clients (drload) that only need the ID space.
+func (f *Fleet) handleStats(w http.ResponseWriter, _ *http.Request) {
+	f.reg.Counter(obs.Label("fleet_http_requests_total", "handler", "stats")).Inc()
+	snap := f.Snapshot()
+	healthy := 0
+	for _, s := range snap {
+		if s.State == "up" {
+			healthy++
+		}
+	}
+	writeJSON(w, map[string]any{
+		"vertices": f.Vertices(),
+		"mode":     string(f.mode),
+		"healthy":  healthy,
+		"replicas": snap,
+	})
+}
+
+func (f *Fleet) handleDrain(w http.ResponseWriter, r *http.Request) {
+	f.reg.Counter(obs.Label("fleet_http_requests_total", "handler", "drain")).Inc()
+	if err := f.Drain(r.URL.Query().Get("replica")); err != nil {
+		f.fail(w, "drain", err.Error(), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, map[string]any{"replicas": f.Snapshot()})
+}
+
+func (f *Fleet) handleReadmit(w http.ResponseWriter, r *http.Request) {
+	f.reg.Counter(obs.Label("fleet_http_requests_total", "handler", "readmit")).Inc()
+	if err := f.Readmit(r.URL.Query().Get("replica")); err != nil {
+		f.fail(w, "readmit", err.Error(), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, map[string]any{"replicas": f.Snapshot()})
+}
+
+// replicaReload is one replica's outcome of a fleet-wide reload.
+type replicaReload struct {
+	Addr     string `json:"addr"`
+	Epoch    uint64 `json:"epoch,omitempty"`
+	Vertices int    `json:"vertices,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// handleReload fans POST /admin/reload out to every replica (all of
+// them, not just the healthy set — a draining or down-but-reachable
+// replica should come back serving the new epoch) and reports each
+// outcome. 200 when every replica reloaded; 502 with the per-replica
+// detail otherwise.
+func (f *Fleet) handleReload(w http.ResponseWriter, r *http.Request) {
+	f.reg.Counter(obs.Label("fleet_http_requests_total", "handler", "reload")).Inc()
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<16))
+	if err != nil {
+		f.fail(w, "reload", fmt.Sprintf("reading request: %v", err), http.StatusBadRequest)
+		return
+	}
+	outcomes := make([]replicaReload, len(f.replicas))
+	var wg sync.WaitGroup
+	for i, rep := range f.replicas {
+		wg.Add(1)
+		go func(i int, rep *replica) {
+			defer wg.Done()
+			outcomes[i] = f.reloadReplica(rep, body)
+		}(i, rep)
+	}
+	wg.Wait()
+	failed := false
+	for _, o := range outcomes {
+		if o.Error != "" {
+			failed = true
+		}
+	}
+	code := http.StatusOK
+	if failed {
+		code = http.StatusBadGateway
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(map[string]any{"replicas": outcomes}); err != nil {
+		f.logDropped(err)
+	}
+}
+
+func (f *Fleet) reloadReplica(rep *replica, body []byte) replicaReload {
+	out := replicaReload{Addr: rep.addr}
+	resp, data, err := f.try(rep, http.MethodPost, "/admin/reload", body)
+	if err != nil {
+		out.Error = err.Error()
+		return out
+	}
+	if resp.StatusCode != http.StatusOK {
+		out.Error = fmt.Sprintf("status %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+		return out
+	}
+	var rr struct {
+		Epoch    uint64 `json:"epoch"`
+		Vertices int    `json:"vertices"`
+	}
+	if err := json.Unmarshal(data, &rr); err != nil {
+		out.Error = fmt.Sprintf("decoding reload response: %v", err)
+		return out
+	}
+	out.Epoch, out.Vertices = rr.Epoch, rr.Vertices
+	rep.epoch.Store(rr.Epoch)
+	return out
+}
+
+// writeJSON mirrors the replica-side discipline: a mid-stream write
+// failure cannot be turned into an error response, so log and drop.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		logDropped(err)
+	}
+}
+
+func (f *Fleet) logDropped(err error) { logDropped(err) }

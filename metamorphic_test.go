@@ -1,6 +1,7 @@
 package reachlab
 
 import (
+	"bytes"
 	"context"
 	"math/rand"
 	"testing"
@@ -105,6 +106,61 @@ func TestMetamorphicQueryProperties(t *testing.T) {
 				t.Fatalf("seed %d %s: refrozen index diverged: %s",
 					seed, v.name, idx.LabelIndex().Diff(refrozen))
 			}
+		}
+	}
+}
+
+// TestMetamorphicSwapPreservesRefreeze: the byte-identical-to-TOL
+// guarantee must survive the serving layer's hot swap. For every
+// build method: serialize the index, read it back, Swap it into a
+// live QueryHandler, and check that (a) the handler's served answers
+// are unchanged pair-for-pair, and (b) the swapped-in index still
+// re-freezes byte-identically — i.e. the WriteTo → ReadIndex → Swap
+// path neither reorders nor perturbs a single label.
+func TestMetamorphicSwapPreservesRefreeze(t *testing.T) {
+	g := randomDAG(60, 150, 24)
+	rng := rand.New(rand.NewSource(77))
+	pairs := make([]Pair, 500)
+	for i := range pairs {
+		pairs[i] = Pair{S: VertexID(rng.Intn(60)), T: VertexID(rng.Intn(60))}
+	}
+	for _, v := range metamorphicVariants() {
+		idx, err := Build(context.Background(), g, v.opts)
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		h := NewQueryHandlerOpts(idx, ServeOptions{Obs: NewMetricsRegistry(), CachePairs: 128})
+		before := h.Index().ReachableBatch(pairs)
+
+		var buf bytes.Buffer
+		if _, err := idx.WriteTo(&buf); err != nil {
+			t.Fatalf("%s: serialize: %v", v.name, err)
+		}
+		loaded, err := ReadIndex(&buf)
+		if err != nil {
+			t.Fatalf("%s: read back: %v", v.name, err)
+		}
+		if e := h.Swap(loaded); e != 2 {
+			t.Fatalf("%s: swap returned epoch %d, want 2", v.name, e)
+		}
+
+		after := h.Index().ReachableBatch(pairs)
+		for i := range pairs {
+			if before[i] != after[i] {
+				t.Fatalf("%s: pair (%d,%d) flipped %v → %v across the swap",
+					v.name, pairs[i].S, pairs[i].T, before[i], after[i])
+			}
+		}
+		// Refreeze byte-identity on the index now being served.
+		served := h.Index().LabelIndex()
+		if refrozen := served.Thaw().Freeze(); !served.Equal(refrozen) {
+			t.Fatalf("%s: post-swap refreeze diverged: %s", v.name, served.Diff(refrozen))
+		}
+		// And the swapped-in index is still byte-identical to the
+		// original build.
+		if !idx.LabelIndex().Equal(served) {
+			t.Fatalf("%s: served index diverged from the build: %s",
+				v.name, idx.LabelIndex().Diff(served))
 		}
 	}
 }
