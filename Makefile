@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet lint invariants check check-full cover bench bench-smoke bench-compare loadtest load-compare fleettest tools examples experiments clean
+.PHONY: all build test vet lint invariants check check-full cover bench bench-smoke bench-compare loadtest load-compare fleettest updatetest update-compare tools examples experiments clean
 
 all: build vet test
 
@@ -72,6 +72,24 @@ loadtest:
 # answer.
 fleettest:
 	./scripts/fleet_smoke.sh
+
+# End-to-end update smoke: drserve in update mode (-graph/-wal) —
+# POST /edges point checks with epoch-acknowledged reads, a drload
+# burst with concurrent writers, kill -9 + WAL replay verifying no
+# acked write is lost, and a graceful-shutdown check (CI's
+# update-smoke job).
+updatetest:
+	./scripts/update_smoke.sh
+
+# Diff the committed static-serving baseline against the serve-while-
+# updating record (drserve update mode under drload -writers): query
+# p50 and QPS with the WAL refresher live may not regress more than
+# -qtolerance relative to read-only serving. Override UPD_OLD/UPD_NEW
+# for fresh runs.
+UPD_OLD ?= BENCH_load-citation-serve1-1786166619.json
+UPD_NEW ?= BENCH_update-citation-serve1-1786171084.json
+update-compare:
+	go run ./cmd/benchcompare -queries -qtolerance 0.10 $(UPD_OLD) $(UPD_NEW)
 
 # Diff the committed flat-vs-slice serving records (drload -mode
 # inproc on the citation graph, uniform traffic): the flat layout's

@@ -53,6 +53,9 @@ func main() {
 		addr      = flag.String("addr", "127.0.0.1:8080", "serve mode: host:port of a running drserve or drrouter")
 		addrs     = flag.String("addrs", "", "serve mode: comma-separated endpoints; overrides -addr and reports per-endpoint errors")
 		reloadEv  = flag.Duration("reload-every", 0, "serve mode: POST /admin/reload to the endpoints (round-robin) at this period during the run")
+		writers   = flag.Int("writers", 0, "serve mode: concurrent writer loops POSTing /edges mutations (update mix; target must run drserve -graph/-wal)")
+		writeWin  = flag.Int("write-window", 0, "serve mode: restrict writer edges to the newest N vertex IDs (citation-growth regime; 0 = whole ID space)")
+		writeEv   = flag.Duration("write-every", 0, "serve mode: throttle each writer to one mutation per period (0 = back-to-back)")
 		reloadRef = flag.String("reload-ref", "", "serve mode: index ref sent with -reload-every reloads (default: the endpoint's own default source)")
 		idxPath   = flag.String("idx", "", "inproc mode: index file to profile (required)")
 		layout    = flag.String("layout", "flat", "inproc mode: flat (CSR index) or slice (pre-flat per-vertex lists)")
@@ -80,7 +83,7 @@ func main() {
 		if len(endpoints) == 0 {
 			fatal(fmt.Errorf("no endpoints in -addr/-addrs"))
 		}
-		runServe(endpoints, *verifyIdx, *reloadEv, *reloadRef, *clients, *requests, *duration, *batch, *zipfS, *seed, *name, *asJSON, *jsonDir)
+		runServe(endpoints, *verifyIdx, *reloadEv, *reloadRef, *writers, *writeEv, *writeWin, *clients, *requests, *duration, *batch, *zipfS, *seed, *name, *asJSON, *jsonDir)
 	case "inproc":
 		runInproc(*idxPath, *layout, *queries, *zipfS, *seed, *name, *asJSON, *jsonDir)
 	default:
@@ -106,10 +109,13 @@ func splitAddrs(list string) []string {
 
 // runServe drives one or more live endpoints and exits nonzero on any
 // request, verification, or reload error.
-func runServe(bases []string, verifyIdx string, reloadEvery time.Duration, reloadRef string, clients, requests int, duration time.Duration, batch int, zipfS float64, seed int64, name string, asJSON bool, jsonDir string) {
+func runServe(bases []string, verifyIdx string, reloadEvery time.Duration, reloadRef string, writers int, writeEvery time.Duration, writeWindow, clients, requests int, duration time.Duration, batch int, zipfS float64, seed int64, name string, asJSON bool, jsonDir string) {
 	vertices := serverVertices(bases[0])
 	var oracle *reachlab.Index
 	if verifyIdx != "" {
+		if writers > 0 {
+			fatal(fmt.Errorf("-verify-idx and -writers are incompatible: a static oracle cannot check a mutating graph (the soak test covers that)"))
+		}
 		oracle = loadIndex(verifyIdx)
 		if oracle.NumVertices() != vertices {
 			fatal(fmt.Errorf("-verify-idx covers %d vertices, server reports %d", oracle.NumVertices(), vertices))
@@ -151,6 +157,14 @@ func runServe(bases []string, verifyIdx string, reloadEvery time.Duration, reloa
 			return postReload(httpc, bases[k%len(bases)], reloadRef)
 		}
 	}
+	if writers > 0 {
+		opts.Writers = writers
+		opts.WriteEvery = writeEvery
+		opts.WriteWindow = writeWindow
+		opts.Write = func(w, k int, insert bool, u, v graph.VertexID) error {
+			return postEdge(httpc, bases[w%len(bases)], insert, u, v)
+		}
+	}
 	res, perEnd := bench.RunLoadgenEndpoints(opts, endpoints)
 
 	if name == "" {
@@ -165,8 +179,15 @@ func runServe(bases []string, verifyIdx string, reloadEvery time.Duration, reloa
 	if res.Disruptions > 0 {
 		fmt.Printf("  reloads fired: %d (%d failed)\n", res.Disruptions, res.DisruptErrors)
 	}
+	if res.Writes > 0 {
+		fmt.Printf("  updates: %d writes (%d failed), %.0f updates/s sustained\n", res.Writes, res.WriteErrors, res.UPS)
+	}
 	if asJSON {
-		writeRecord(jsonDir, name, algo, clients, res)
+		prefix := "load"
+		if writers > 0 {
+			prefix = "update"
+		}
+		writeRecord(jsonDir, prefix, name, algo, clients, res)
 	}
 	if res.Errors > 0 {
 		fmt.Fprintf(os.Stderr, "drload: %d of %d requests failed\n", res.Errors, res.Requests)
@@ -176,6 +197,36 @@ func runServe(bases []string, verifyIdx string, reloadEvery time.Duration, reloa
 		fmt.Fprintf(os.Stderr, "drload: %d of %d reloads failed\n", res.DisruptErrors, res.Disruptions)
 		os.Exit(1)
 	}
+	if res.WriteErrors > 0 {
+		fmt.Fprintf(os.Stderr, "drload: %d of %d writes failed\n", res.WriteErrors, res.Writes)
+		os.Exit(1)
+	}
+}
+
+// postEdge sends one durable edge mutation to an endpoint (a drserve
+// replica in update mode, or a drrouter which fans it to the fleet).
+func postEdge(httpc *http.Client, base string, insert bool, u, v graph.VertexID) error {
+	op := "delete"
+	if insert {
+		op = "insert"
+	}
+	raw, err := json.Marshal(struct {
+		Op string `json:"op"`
+		U  int64  `json:"u"`
+		V  int64  `json:"v"`
+	}{Op: op, U: int64(u), V: int64(v)})
+	if err != nil {
+		return err
+	}
+	resp, err := httpc.Post(base+"/edges", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("edge %s(%d,%d) status %d", op, u, v, resp.StatusCode)
+	}
+	return nil
 }
 
 // postReload triggers one index reload on an endpoint (a drserve
@@ -236,7 +287,7 @@ func runInproc(idxPath, layout string, queries int, zipfS float64, seed int64, n
 	algo := "query-inproc"
 	report(name+"/"+layout, algo, 1, res)
 	if asJSON {
-		writeRecord(jsonDir, name, algo, 1, res, "layout-"+layout)
+		writeRecord(jsonDir, "load", name, algo, 1, res, "layout-"+layout)
 	}
 }
 
@@ -347,8 +398,11 @@ func report(name, algo string, clients int, res bench.LoadgenResult) {
 }
 
 // writeRecord serializes the run in the drbench RunRecord shape so
-// benchcompare -queries can diff serving runs.
-func writeRecord(dir, name, algo string, clients int, res bench.LoadgenResult, tags ...string) {
+// benchcompare -queries can diff serving runs. prefix distinguishes
+// query-only records (BENCH_load-*) from update-mix ones
+// (BENCH_update-*); both carry the same dataset/algo key so
+// benchcompare matches them against each other.
+func writeRecord(dir, prefix, name, algo string, clients int, res bench.LoadgenResult, tags ...string) {
 	rec := bench.RunRecord{
 		Experiment: "loadgen",
 		Suite:      name,
@@ -358,10 +412,13 @@ func writeRecord(dir, name, algo string, clients int, res bench.LoadgenResult, t
 		Datasets: []bench.DatasetRecord{{
 			Name: name,
 			Builds: []bench.BuildRecord{{
-				Algo:    algo,
-				Seconds: res.Elapsed.Seconds(),
-				QPS:     res.QPS,
-				Errors:  res.Errors,
+				Algo:        algo,
+				Seconds:     res.Elapsed.Seconds(),
+				QPS:         res.QPS,
+				Errors:      res.Errors,
+				UPS:         res.UPS,
+				Writes:      res.Writes,
+				WriteErrors: res.WriteErrors,
 				Query: &bench.QueryRecord{
 					MeanNanos: res.Latency.Mean.Nanoseconds(),
 					P50Nanos:  res.Latency.P50.Nanoseconds(),
@@ -375,7 +432,7 @@ func writeRecord(dir, name, algo string, clients int, res bench.LoadgenResult, t
 	if len(tags) > 0 {
 		suffix = "-" + strings.Join(tags, "-")
 	}
-	path := filepath.Join(dir, fmt.Sprintf("BENCH_load-%s%s-%d.json", name, suffix, rec.UnixTime))
+	path := filepath.Join(dir, fmt.Sprintf("BENCH_%s-%s%s-%d.json", prefix, name, suffix, rec.UnixTime))
 	f, err := os.Create(path)
 	if err != nil {
 		fatal(err)

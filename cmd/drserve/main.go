@@ -20,6 +20,16 @@
 //	curl -X POST -d '{"ref":"new.idx"}' 'localhost:8080/admin/reload'
 //	kill -HUP <pid>                                            # same as empty reload
 //
+// Update mode (DESIGN.md §12) serves a *mutable* graph: -graph + -wal
+// replace -idx, POST /edges appends durable edge mutations to the
+// write-ahead log, and a background refresher drains them in batches
+// into the next served epoch. A restart replays the log, so every
+// acknowledged write survives a crash:
+//
+//	drserve -graph graph.txt -wal edges.wal -refresh-every 2s
+//	curl -d '{"op":"insert","u":3,"v":17}' 'localhost:8080/edges'
+//	# → {"op":"insert","u":3,"v":17,"seq":1,"epoch":2}
+//
 // Observability (see DESIGN.md §7):
 //
 //	curl 'localhost:8080/metrics'                          # Prometheus text
@@ -39,48 +49,105 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/wal"
 )
 
 func main() {
 	var (
-		idxPath  = flag.String("idx", "", "index file written by drlabel (required; also the default /admin/reload and SIGHUP source)")
+		idxPath  = flag.String("idx", "", "index file written by drlabel (required unless -graph; also the default /admin/reload and SIGHUP source)")
 		listen   = flag.String("listen", "127.0.0.1:8080", "address to listen on")
 		cache    = flag.Int("cache", 1<<20, "hot-pair cache capacity in entries (0 disables)")
 		shards   = flag.Int("cache-shards", 64, "hot-pair cache shard count")
 		maxBatch = flag.Int("max-batch", reachlab.DefaultMaxBatch, "maximum pairs per /reach/batch request")
 		grace    = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight queries")
+
+		graphPath    = flag.String("graph", "", "text edge list: enables update mode (POST /edges mutations, requires -wal)")
+		walPath      = flag.String("wal", "", "write-ahead edge log path (update mode; created if missing, replayed if present)")
+		refreshEvery = flag.Duration("refresh-every", reachlab.DefaultRefreshEvery, "update mode: interval between refresh swaps")
+		refreshBatch = flag.Int("refresh-batch", reachlab.DefaultRefreshBatch, "update mode: max log records applied per refresh swap")
 	)
 	flag.Parse()
-	if *idxPath == "" {
-		fatal(fmt.Errorf("missing -idx"))
-	}
-	loader := func(ref string) (*reachlab.Index, error) {
-		path := ref
-		if path == "" {
-			path = *idxPath
-		}
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return reachlab.ReadIndex(f)
-	}
-	idx, err := loader("")
-	if err != nil {
-		fatal(err)
-	}
-	st := idx.Stats()
-	fmt.Printf("serving %d vertices (%.2f MB index, %d cache slots) on %s (metrics at /metrics, profiles at /debug/pprof/)\n",
-		idx.NumVertices(), float64(st.Bytes)/(1<<20), *cache, *listen)
 
-	handler := reachlab.NewQueryHandlerOpts(idx, reachlab.ServeOptions{
-		Obs:         reachlab.DefaultMetrics(),
-		CachePairs:  *cache,
-		CacheShards: *shards,
-		MaxBatch:    *maxBatch,
-		Loader:      loader,
-	})
+	var (
+		handler *reachlab.QueryHandler
+		updater *reachlab.Updater
+		edgeLog *wal.Log
+	)
+	switch {
+	case *graphPath != "":
+		if *walPath == "" {
+			fatal(fmt.Errorf("-graph requires -wal"))
+		}
+		if *idxPath != "" {
+			fatal(fmt.Errorf("-graph and -idx are mutually exclusive (update mode serves the maintained snapshot)"))
+		}
+		f, err := os.Open(*graphPath)
+		if err != nil {
+			fatal(err)
+		}
+		g, err := reachlab.ReadGraph(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		edgeLog, err = wal.Open(*walPath)
+		if err != nil {
+			fatal(err)
+		}
+		updater, err = reachlab.NewUpdater(g, edgeLog, reachlab.UpdaterOptions{
+			RefreshEvery: *refreshEvery,
+			RefreshBatch: *refreshBatch,
+			Obs:          reachlab.DefaultMetrics(),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		idx := updater.Snapshot()
+		fmt.Printf("serving %d vertices in update mode (%d log records replayed, refresh every %s, batch %d) on %s\n",
+			idx.NumVertices(), edgeLog.Count(), *refreshEvery, *refreshBatch, *listen)
+		// No Loader: in update mode the updater owns every epoch
+		// advance — /admin/reload answers 501, SIGHUP warns.
+		handler = reachlab.NewQueryHandlerOpts(idx, reachlab.ServeOptions{
+			Obs:         reachlab.DefaultMetrics(),
+			CachePairs:  *cache,
+			CacheShards: *shards,
+			MaxBatch:    *maxBatch,
+		})
+		handler.EnableUpdates(updater)
+		updater.Start(handler)
+
+	case *idxPath != "":
+		loader := func(ref string) (*reachlab.Index, error) {
+			path := ref
+			if path == "" {
+				path = *idxPath
+			}
+			f, err := os.Open(path)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			return reachlab.ReadIndex(f)
+		}
+		idx, err := loader("")
+		if err != nil {
+			fatal(err)
+		}
+		st := idx.Stats()
+		fmt.Printf("serving %d vertices (%.2f MB index, %d cache slots) on %s (metrics at /metrics, profiles at /debug/pprof/)\n",
+			idx.NumVertices(), float64(st.Bytes)/(1<<20), *cache, *listen)
+		handler = reachlab.NewQueryHandlerOpts(idx, reachlab.ServeOptions{
+			Obs:         reachlab.DefaultMetrics(),
+			CachePairs:  *cache,
+			CacheShards: *shards,
+			MaxBatch:    *maxBatch,
+			Loader:      loader,
+		})
+
+	default:
+		fatal(fmt.Errorf("missing -idx (static mode) or -graph/-wal (update mode)"))
+	}
+
 	srv := &http.Server{
 		Addr:              *listen,
 		Handler:           handler,
@@ -88,11 +155,16 @@ func main() {
 		IdleTimeout:       60 * time.Second,
 	}
 
-	// SIGHUP = reload the default index source under live traffic.
+	// SIGHUP = reload the default index source under live traffic
+	// (static mode only; update-mode epochs belong to the refresher).
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
 	go func() {
 		for range hup {
+			if updater != nil {
+				fmt.Fprintln(os.Stderr, "drserve: SIGHUP ignored in update mode (epochs advance via the refresher)")
+				continue
+			}
 			epoch, vertices, err := handler.Reload("")
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "drserve: SIGHUP reload failed:", err)
@@ -122,6 +194,14 @@ func main() {
 		}
 		if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fatal(err)
+		}
+		if updater != nil {
+			// Unapplied log records are durable; the next start
+			// replays them. Only stop the refresher and sync the log.
+			updater.Close()
+			if err := edgeLog.Close(); err != nil {
+				fatal(fmt.Errorf("closing wal: %w", err))
+			}
 		}
 		fmt.Fprintln(os.Stderr, "drserve: drained, exiting")
 	}

@@ -40,8 +40,27 @@ func (x *DynamicIndex) InsertEdge(u, v VertexID) error { return x.d.InsertEdge(u
 // a missing edge is a no-op.
 func (x *DynamicIndex) DeleteEdge(u, v VertexID) error { return x.d.DeleteEdge(u, v) }
 
-// Graph returns the current graph.
+// Graph materializes the current graph. The maintainer keeps
+// adjacency incrementally, so this costs a full copy — call it for
+// inspection, not per update.
 func (x *DynamicIndex) Graph() *Graph { return &Graph{d: x.d.Graph()} }
+
+// UpdateStats reports how updates were absorbed so far.
+type UpdateStats struct {
+	// Repairs counts updates absorbed by the localized incremental
+	// sweep; Rebuilds counts updates whose affected region covered
+	// most of the graph, triggering the full-rebuild fallback.
+	Repairs  int64
+	Rebuilds int64
+}
+
+// UpdateStats returns the repair/rebuild tally. No-op updates
+// (inserting a present edge, deleting a missing one) count in
+// neither.
+func (x *DynamicIndex) UpdateStats() UpdateStats {
+	s := x.d.UpdateStats()
+	return UpdateStats{Repairs: s.Repairs, Rebuilds: s.Rebuilds}
+}
 
 // Snapshot freezes the current labels into an immutable, serializable
 // Index.

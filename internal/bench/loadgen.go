@@ -53,6 +53,24 @@ type LoadgenOptions struct {
 	// DisruptEvery is the period between Disrupt calls (required for
 	// Disrupt to fire; the first call lands one period into the run).
 	DisruptEvery time.Duration
+	// Write, with Writers > 0, turns the run into an update mix:
+	// Writers extra goroutines call it with deterministic edge
+	// mutations (k-th call of writer w gets the writer's own seeded
+	// edge and alternating insert/delete) while the query clients
+	// keep firing. drload points it at POST /edges. Write errors are
+	// counted separately from query errors.
+	Write func(writer, k int, insert bool, u, v graph.VertexID) error
+	// Writers is the number of concurrent writer loops.
+	Writers int
+	// WriteEvery throttles each writer to one mutation per period
+	// (default: write back-to-back).
+	WriteEvery time.Duration
+	// WriteWindow restricts writer edge endpoints to the newest
+	// WriteWindow vertex IDs ([Vertices-WriteWindow, Vertices)) — the
+	// citation-growth regime, where new edges attach among recent
+	// vertices and dynamic repair stays localized. 0 (or >= Vertices)
+	// draws from the whole ID space.
+	WriteWindow int
 }
 
 func (o LoadgenOptions) clients() int {
@@ -76,6 +94,9 @@ type LoadgenResult struct {
 	Errors        int64         // failed requests
 	Disruptions   int64         // Disrupt calls fired during the run
 	DisruptErrors int64         // Disrupt calls that returned an error
+	Writes        int64         // edge mutations sent (update mix)
+	WriteErrors   int64         // edge mutations that failed
+	UPS           float64       // achieved writes per second
 	Elapsed       time.Duration // wall time of the whole run
 	QPS           float64       // achieved pairs per second
 	Latency       QueryStats    // per-request latency distribution
@@ -198,6 +219,56 @@ func RunLoadgenEndpoints(opts LoadgenOptions, clients []Client) (LoadgenResult, 
 		}(c)
 	}
 
+	// Writers run beside the query clients until they finish — the
+	// update mix: each writer inserts a fresh seeded edge then deletes
+	// it on the next call, so sustained load leaves the graph close to
+	// its base state while every mutation is a real (non-no-op) update.
+	var writes, writeErrs atomic.Int64
+	var wwg sync.WaitGroup
+	if opts.Write != nil && opts.Writers > 0 {
+		for w := 0; w < opts.Writers; w++ {
+			wwg.Add(1)
+			go func(w int) {
+				defer wwg.Done()
+				rng := rand.New(rand.NewSource(opts.Seed + 1_000_003*int64(w+1)))
+				lo := 0
+				if opts.WriteWindow > 0 && opts.WriteWindow < opts.Vertices {
+					lo = opts.Vertices - opts.WriteWindow
+				}
+				span := opts.Vertices - lo
+				var tick *time.Ticker
+				if opts.WriteEvery > 0 {
+					tick = time.NewTicker(opts.WriteEvery)
+					defer tick.Stop()
+				}
+				var u, v graph.VertexID
+				for k := 0; ; k++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if tick != nil {
+						select {
+						case <-stop:
+							return
+						case <-tick.C:
+						}
+					}
+					insert := k%2 == 0
+					if insert {
+						u = graph.VertexID(lo + rng.Intn(span))
+						v = graph.VertexID(lo + rng.Intn(span))
+					}
+					writes.Add(1)
+					if err := opts.Write(w, k, insert, u, v); err != nil {
+						writeErrs.Add(1)
+					}
+				}
+			}(w)
+		}
+	}
+
 	// The disruptor runs beside the clients until they finish — the
 	// "during-reload" mode: every DisruptEvery it fires the hook
 	// (index swap, replica kill, whatever the caller injects) while
@@ -227,6 +298,7 @@ func RunLoadgenEndpoints(opts LoadgenOptions, clients []Client) (LoadgenResult, 
 	wg.Wait()
 	close(stop)
 	dwg.Wait()
+	wwg.Wait()
 	elapsed := time.Since(start)
 
 	var all []time.Duration
@@ -239,11 +311,14 @@ func RunLoadgenEndpoints(opts LoadgenOptions, clients []Client) (LoadgenResult, 
 		Errors:        errors.Load(),
 		Disruptions:   disruptions.Load(),
 		DisruptErrors: disruptErrs.Load(),
+		Writes:        writes.Load(),
+		WriteErrors:   writeErrs.Load(),
 		Elapsed:       elapsed,
 		Latency:       latencyStats(all),
 	}
 	if elapsed > 0 {
 		res.QPS = float64(res.Pairs) / elapsed.Seconds()
+		res.UPS = float64(res.Writes) / elapsed.Seconds()
 	}
 	ends := make([]EndpointResult, ne)
 	for i := range perEnd {

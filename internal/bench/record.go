@@ -47,6 +47,12 @@ type BuildRecord struct {
 	// benchmarks).
 	QPS    float64 `json:"qps,omitempty"`
 	Errors int64   `json:"errors,omitempty"`
+
+	// Update-mix measurements (drload -writers; zero for query-only
+	// runs): sustained mutations/sec beside the query traffic.
+	UPS         float64 `json:"ups,omitempty"`
+	Writes      int64   `json:"writes,omitempty"`
+	WriteErrors int64   `json:"write_errors,omitempty"`
 }
 
 // QueryRecord is the query-latency distribution of an index.

@@ -26,9 +26,13 @@ type fakeReplica struct {
 	served     [][2]int64 // every pair answered, in arrival order
 	batchCalls int
 
+	edgeOps []string // "insert(3,17)" per accepted mutation
+	edgeSeq uint64
+
 	epoch      atomic.Uint64
 	failHealth atomic.Bool // healthz → 503
 	failReach  atomic.Bool // reach endpoints → 500
+	failEdges  atomic.Bool // edges → 500
 }
 
 // ans is the ground truth every fake replica agrees on.
@@ -98,6 +102,31 @@ func (f *fakeReplica) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// The client may have hung up mid-test; a short write here is
 		// its problem, not the fake replica's.
 		_ = json.NewEncoder(w).Encode(map[string]any{"count": len(results), "results": results})
+	case r.Method == http.MethodPost && r.URL.Path == "/edges":
+		if f.failEdges.Load() {
+			http.Error(w, "injected failure", http.StatusInternalServerError)
+			return
+		}
+		var req struct {
+			Op string `json:"op"`
+			U  int64  `json:"u"`
+			V  int64  `json:"v"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if req.Op != "insert" && req.Op != "delete" {
+			http.Error(w, "bad op", http.StatusBadRequest)
+			return
+		}
+		f.mu.Lock()
+		f.edgeSeq++
+		seq := f.edgeSeq
+		f.edgeOps = append(f.edgeOps, fmt.Sprintf("%s(%d,%d)", req.Op, req.U, req.V))
+		f.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"op":%q,"seq":%d,"epoch":%d}`+"\n", req.Op, seq, f.epoch.Load()+1)
 	case r.Method == http.MethodPost && r.URL.Path == "/admin/reload":
 		e := f.epoch.Add(1)
 		w.Header().Set("Content-Type", "application/json")
@@ -646,6 +675,93 @@ func TestFleetStatsAndReloadFanout(t *testing.T) {
 	for _, r := range stats.Replicas {
 		if r.Epoch != 2 {
 			t.Errorf("replica %s epoch %d in /stats, want 2", r.Addr, r.Epoch)
+		}
+	}
+}
+
+// --- /edges mutation fan-out ---------------------------------------
+
+func postEdges(t *testing.T, url, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url+"/edges", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&doc)
+	return resp, doc
+}
+
+// TestFleetEdgesFanout: a mutation through the router lands on every
+// replica (the replicated-WAL discipline), partial failure reports
+// 502 with per-replica detail, and a validation error short-circuits
+// as the replica's 4xx without spraying the pool.
+func TestFleetEdgesFanout(t *testing.T) {
+	fakes, _, f := testFleet(t, 3, Replicated, nil, nil)
+	router := httptest.NewServer(f)
+	defer router.Close()
+
+	resp, doc := postEdges(t, router.URL, `{"op":"insert","u":3,"v":17}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fan-out status %d: %v", resp.StatusCode, doc)
+	}
+	outcomes, _ := doc["replicas"].([]any)
+	if len(outcomes) != 3 {
+		t.Fatalf("outcomes for %d replicas, want 3: %v", len(outcomes), doc)
+	}
+	for _, fr := range fakes {
+		fr.mu.Lock()
+		got := append([]string(nil), fr.edgeOps...)
+		fr.mu.Unlock()
+		if len(got) != 1 || got[0] != "insert(3,17)" {
+			t.Fatalf("replica %d saw %v, want [insert(3,17)]", fr.id, got)
+		}
+	}
+
+	// One replica failing → 502, the healthy ones still got the write.
+	fakes[2].failEdges.Store(true)
+	resp, doc = postEdges(t, router.URL, `{"op":"delete","u":3,"v":17}`)
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("partial failure status %d, want 502", resp.StatusCode)
+	}
+	failed := 0
+	for _, o := range doc["replicas"].([]any) {
+		if m, _ := o.(map[string]any); m["error"] != nil && m["error"] != "" {
+			failed++
+		}
+	}
+	if failed != 1 {
+		t.Fatalf("%d replicas reported errors, want 1: %v", failed, doc)
+	}
+	for _, fr := range fakes[:2] {
+		fr.mu.Lock()
+		n := len(fr.edgeOps)
+		fr.mu.Unlock()
+		if n != 2 {
+			t.Fatalf("healthy replica %d saw %d mutations, want 2", fr.id, n)
+		}
+	}
+	fakes[2].failEdges.Store(false)
+
+	// A malformed op is rejected deterministically: 400 straight back,
+	// and no replica records it.
+	before := make([]int, len(fakes))
+	for i, fr := range fakes {
+		fr.mu.Lock()
+		before[i] = len(fr.edgeOps)
+		fr.mu.Unlock()
+	}
+	resp, _ = postEdges(t, router.URL, `{"op":"upsert","u":1,"v":2}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad op status %d, want 400", resp.StatusCode)
+	}
+	for i, fr := range fakes {
+		fr.mu.Lock()
+		n := len(fr.edgeOps)
+		fr.mu.Unlock()
+		if n != before[i] {
+			t.Fatalf("replica %d recorded the rejected mutation (%d → %d ops)", fr.id, before[i], n)
 		}
 	}
 }

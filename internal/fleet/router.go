@@ -26,6 +26,7 @@ import (
 //	POST /reach/batch                → split/merged batch query
 //	GET  /stats                      → {"vertices":N,"mode":...,"healthy":K,"replicas":[...]}
 //	GET  /healthz                    → 200 while ≥1 replica is up
+//	POST /edges                      → fan one edge mutation to every replica
 //	POST /admin/drain?replica=a:p    → graceful drain
 //	POST /admin/readmit?replica=a:p  → return a drained/down replica to probation
 //	POST /admin/reload               → fan POST /admin/reload to every replica
@@ -35,6 +36,7 @@ func (f *Fleet) initMux() {
 	f.mux = http.NewServeMux()
 	f.mux.HandleFunc("GET /reach", f.handleReach)
 	f.mux.HandleFunc("POST /reach/batch", f.handleBatch)
+	f.mux.HandleFunc("POST /edges", f.handleEdges)
 	f.mux.HandleFunc("GET /stats", f.handleStats)
 	f.mux.HandleFunc("GET /healthz", f.handleHealthz)
 	f.mux.HandleFunc("POST /admin/drain", f.handleDrain)
@@ -453,6 +455,92 @@ func (f *Fleet) reloadReplica(rep *replica, body []byte) replicaReload {
 	}
 	out.Epoch, out.Vertices = rr.Epoch, rr.Vertices
 	rep.epoch.Store(rr.Epoch)
+	return out
+}
+
+// replicaEdge is one replica's acknowledgement of an edge mutation.
+type replicaEdge struct {
+	Addr  string `json:"addr"`
+	Seq   uint64 `json:"seq,omitempty"`
+	Epoch uint64 `json:"epoch,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// handleEdges fans one POST /edges mutation out to every replica —
+// each keeps its own write-ahead log, so a replicated fleet stays
+// convergent only if every replica sees every write (the same
+// all-replicas discipline as reload; a draining replica still takes
+// writes so it comes back current). 200 when every replica durably
+// acknowledged; 502 with per-replica detail otherwise — the caller
+// must treat 502 as "retry until 200" since a partial write leaves
+// replicas divergent until it lands everywhere. A 4xx from the first
+// replica (malformed op, vertex out of range) is returned verbatim
+// without touching the rest: validation failures are deterministic,
+// so one verdict speaks for the pool.
+func (f *Fleet) handleEdges(w http.ResponseWriter, r *http.Request) {
+	f.reg.Counter(obs.Label("fleet_http_requests_total", "handler", "edges")).Inc()
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<16))
+	if err != nil {
+		f.fail(w, "edges", fmt.Sprintf("reading request: %v", err), http.StatusBadRequest)
+		return
+	}
+	// Probe the first replica alone so a validation error short-circuits.
+	first := f.mutateReplica(f.replicas[0], body)
+	if first.Error != "" && first.status >= 400 && first.status < 500 {
+		f.fail(w, "edges", first.Error, first.status)
+		return
+	}
+	outcomes := make([]replicaEdge, len(f.replicas))
+	outcomes[0] = first.replicaEdge
+	var wg sync.WaitGroup
+	for i, rep := range f.replicas[1:] {
+		wg.Add(1)
+		go func(i int, rep *replica) {
+			defer wg.Done()
+			outcomes[i] = f.mutateReplica(rep, body).replicaEdge
+		}(i+1, rep)
+	}
+	wg.Wait()
+	code := http.StatusOK
+	for _, o := range outcomes {
+		if o.Error != "" {
+			code = http.StatusBadGateway
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(map[string]any{"replicas": outcomes}); err != nil {
+		f.logDropped(err)
+	}
+}
+
+type edgeOutcome struct {
+	replicaEdge
+	status int
+}
+
+func (f *Fleet) mutateReplica(rep *replica, body []byte) edgeOutcome {
+	out := edgeOutcome{replicaEdge: replicaEdge{Addr: rep.addr}}
+	resp, data, err := f.try(rep, http.MethodPost, "/edges", body)
+	if err != nil {
+		out.Error = err.Error()
+		out.status = http.StatusBadGateway
+		return out
+	}
+	out.status = resp.StatusCode
+	if resp.StatusCode != http.StatusOK {
+		out.Error = fmt.Sprintf("status %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+		return out
+	}
+	var ack struct {
+		Seq   uint64 `json:"seq"`
+		Epoch uint64 `json:"epoch"`
+	}
+	if err := json.Unmarshal(data, &ack); err != nil {
+		out.Error = fmt.Sprintf("decoding edge ack: %v", err)
+		return out
+	}
+	out.Seq, out.Epoch = ack.Seq, ack.Epoch
 	return out
 }
 

@@ -30,6 +30,14 @@ import (
 // intact. The result is bit-identical to a fresh TOL build under the
 // same order, which the tests verify exhaustively.
 //
+// The adjacency is maintained incrementally as sorted neighbor lists
+// — an update costs O(deg) for the graph edit plus the localized
+// repair sweep, never a full CSR rebuild. Only the rebuild fallback
+// (an update whose affected sets cover most of the graph, where the
+// incremental sweep would cost more than a fresh build) materializes
+// a Digraph, and UpdateStats reports how often each path ran so a
+// serving tier can export both as counters.
+//
 // As in the original TOL, the total order is frozen at construction:
 // updates change degrees but not ranks. Queries remain exact; only
 // label sizes may drift from the degree heuristic's optimum until a
@@ -38,10 +46,25 @@ import (
 // DynamicIndex is a reachability index that supports edge insertions
 // and deletions.
 type DynamicIndex struct {
-	cur *graph.Digraph
-	ord *order.Ordering
+	n int
+	m int64
+	// outAdj[v], inAdj[v]: sorted neighbor lists, maintained in place.
+	outAdj, inAdj [][]graph.VertexID
+	ord           *order.Ordering
 	// in[y], out[y]: rank-sorted label lists.
 	in, out [][]order.Rank
+
+	stats UpdateStats
+}
+
+// UpdateStats counts how the maintainer absorbed updates: Repairs is
+// the number of localized incremental sweeps, Rebuilds the number of
+// full-build fallbacks (updates whose affected sets covered most of
+// the graph). No-op updates (inserting a present edge, deleting a
+// missing one) count in neither.
+type UpdateStats struct {
+	Repairs  int64
+	Rebuilds int64
 }
 
 // NewDynamic builds a dynamic index over g with the degree-product
@@ -51,20 +74,51 @@ func NewDynamic(g *graph.Digraph) *DynamicIndex {
 	n := g.NumVertices()
 	idx := Build(g, ord)
 	d := &DynamicIndex{
-		cur: g,
-		ord: ord,
-		in:  make([][]order.Rank, n),
-		out: make([][]order.Rank, n),
+		n:      n,
+		m:      g.NumEdges(),
+		outAdj: make([][]graph.VertexID, n),
+		inAdj:  make([][]graph.VertexID, n),
+		ord:    ord,
+		in:     make([][]order.Rank, n),
+		out:    make([][]order.Rank, n),
 	}
 	for v := graph.VertexID(0); int(v) < n; v++ {
+		d.outAdj[v] = append([]graph.VertexID(nil), g.OutNeighbors(v)...)
+		d.inAdj[v] = append([]graph.VertexID(nil), g.InNeighbors(v)...)
 		d.in[v] = append([]order.Rank(nil), idx.InLabels(v)...)
 		d.out[v] = append([]order.Rank(nil), idx.OutLabels(v)...)
 	}
 	return d
 }
 
-// Graph returns the current graph.
-func (d *DynamicIndex) Graph() *graph.Digraph { return d.cur }
+// Graph materializes the current graph as an immutable Digraph. The
+// adjacency is maintained incrementally, so this costs a full CSR
+// construction — call it for inspection and oracles, not per update.
+func (d *DynamicIndex) Graph() *graph.Digraph {
+	return graph.FromEdges(d.n, d.edges())
+}
+
+func (d *DynamicIndex) edges() []graph.Edge {
+	edges := make([]graph.Edge, 0, d.m)
+	for u := graph.VertexID(0); int(u) < d.n; u++ {
+		for _, v := range d.outAdj[u] {
+			edges = append(edges, graph.Edge{U: u, V: v})
+		}
+	}
+	return edges
+}
+
+// NumVertices returns the (fixed) vertex count.
+func (d *DynamicIndex) NumVertices() int { return d.n }
+
+// NumEdges returns the current number of distinct directed edges.
+func (d *DynamicIndex) NumEdges() int64 { return d.m }
+
+// UpdateStats reports the repair/rebuild tally so far.
+func (d *DynamicIndex) UpdateStats() UpdateStats { return d.stats }
+
+// Ordering returns the frozen total order.
+func (d *DynamicIndex) Ordering() *order.Ordering { return d.ord }
 
 // Reachable answers q(s, t) from the maintained labels.
 func (d *DynamicIndex) Reachable(s, t graph.VertexID) bool {
@@ -94,12 +148,12 @@ func (d *DynamicIndex) InsertEdge(u, v graph.VertexID) error {
 	if err := d.check(u, v); err != nil {
 		return err
 	}
-	if contains(d.cur.OutNeighbors(u), v) {
+	if contains(d.outAdj[u], v) {
 		return nil
 	}
-	edges := d.cur.Edges(nil)
-	edges = append(edges, graph.Edge{U: u, V: v})
-	d.cur = graph.FromEdges(d.cur.NumVertices(), edges)
+	d.outAdj[u] = sortedInsert(d.outAdj[u], v)
+	d.inAdj[v] = sortedInsert(d.inAdj[v], u)
+	d.m++
 	d.repair(u, v)
 	return nil
 }
@@ -110,66 +164,85 @@ func (d *DynamicIndex) DeleteEdge(u, v graph.VertexID) error {
 	if err := d.check(u, v); err != nil {
 		return err
 	}
-	if !contains(d.cur.OutNeighbors(u), v) {
+	if !contains(d.outAdj[u], v) {
 		return nil
 	}
-	old := d.cur.Edges(nil)
-	edges := old[:0]
-	removed := false
-	for _, e := range old {
-		if !removed && e.U == u && e.V == v {
-			removed = true
-			continue
-		}
-		edges = append(edges, e)
-	}
-	d.cur = graph.FromEdges(d.cur.NumVertices(), edges)
+	d.outAdj[u] = sortedRemove(d.outAdj[u], v)
+	d.inAdj[v] = sortedRemove(d.inAdj[v], u)
+	d.m--
 	d.repair(u, v)
 	return nil
 }
 
 func (d *DynamicIndex) check(u, v graph.VertexID) error {
-	n := d.cur.NumVertices()
-	if int(u) >= n || u < 0 || int(v) >= n || v < 0 {
-		return fmt.Errorf("tol: edge (%d,%d) out of range for %d vertices", u, v, n)
+	if int(u) >= d.n || u < 0 || int(v) >= d.n || v < 0 {
+		return fmt.Errorf("tol: edge (%d,%d) out of range for %d vertices", u, v, d.n)
 	}
 	return nil
+}
+
+// bfsFrom runs a BFS over the adjacency in adj starting at src,
+// additionally traversing extra.U → extra.V as if present (for
+// deletions, whose removed edge's old walks must still be
+// considered), and reports every reached vertex including src.
+func (d *DynamicIndex) bfsFrom(adj [][]graph.VertexID, src graph.VertexID, extra graph.Edge, visit func(graph.VertexID)) {
+	seen := make([]bool, d.n)
+	queue := []graph.VertexID{src}
+	seen[src] = true
+	for len(queue) > 0 {
+		w := queue[0]
+		queue = queue[1:]
+		visit(w)
+		push := func(x graph.VertexID) {
+			if !seen[x] {
+				seen[x] = true
+				queue = append(queue, x)
+			}
+		}
+		for _, x := range adj[w] {
+			push(x)
+		}
+		if w == extra.U {
+			push(extra.V)
+		}
+	}
 }
 
 // repair re-evaluates label membership for every pair that an update
 // of edge (u, v) can affect: sources A = ANC(u), targets D = DES(v),
 // both in the *union* of the old and new graphs (computed on the new
-// graph plus the endpoints; for a deletion the old-graph sets are
-// supersets, and re-evaluating a pair that did not change is
-// harmless, so the sets are taken generously).
+// adjacency plus the updated edge; for a deletion the old-graph sets
+// are recovered by traversing the deleted edge as if present, and
+// re-evaluating a pair that did not change is harmless, so the sets
+// are taken generously).
 func (d *DynamicIndex) repair(u, v graph.VertexID) {
-	n := d.cur.NumVertices()
-	// Affected sets on the new graph; for deletions the broken pairs
-	// are those that could reach through (u,v) before, which is still
-	// ANC(u) × DES(v) on the old graph — ANC/DES only shrink, but any
-	// pair that left the sets can no longer have changed membership
-	// unless it used the edge, in which case it is still in
-	// ANC(u) × DES(v) of the *new* graph union {u} × {v} closure...
-	// To stay safely conservative both computations run on the graph
-	// that contains the edge: for insertion that is the new graph,
-	// for deletion the sets are augmented with the old labels' view
-	// by also traversing the deleted edge.
-	anc := markSet(d.cur.Inverse(), u, n, graph.Edge{U: v, V: u})
-	des := markSet(d.cur, v, n, graph.Edge{U: u, V: v})
+	n := d.n
+	var anc, des []graph.VertexID
+	d.bfsFrom(d.inAdj, u, graph.Edge{U: v, V: u}, func(w graph.VertexID) { anc = append(anc, w) })
+	d.bfsFrom(d.outAdj, v, graph.Edge{U: u, V: v}, func(w graph.VertexID) { des = append(des, w) })
 
-	// The incremental sweep costs O(|A|·|D|·Δ + |A|·|E|): a bargain
-	// for localized updates (DAG-like regions) but worse than a fresh
-	// build when the update touches a giant SCC. Fall back to the
-	// rebuild in that regime — the order stays frozen either way, so
-	// the resulting labels are identical.
-	if int64(len(anc))*int64(len(des)) > 8*(int64(n)+d.cur.NumEdges()) {
-		idx := Build(d.cur, d.ord)
+	// The incremental sweep costs O(|A|·|D|·Δ) pair tests plus
+	// min(|A|,|D|) BFS traversals: a bargain for localized updates
+	// (DAG-like regions, or growth workloads where one side is a
+	// handful of vertices) but worse than a fresh build when the
+	// update touches a giant SCC or both affected sets span the
+	// graph. Fall back to the rebuild in those regimes — the order
+	// stays frozen either way, so the resulting labels are identical.
+	bfsSide := len(anc)
+	if len(des) < bfsSide {
+		bfsSide = len(des)
+	}
+	if int64(len(anc))*int64(len(des)) > 8*(int64(n)+d.m) ||
+		int64(bfsSide) > max(int64(n)/64, 32) {
+		d.stats.Rebuilds++
+		idx := Build(d.Graph(), d.ord)
 		for w := graph.VertexID(0); int(w) < n; w++ {
 			d.in[w] = append(d.in[w][:0], idx.InLabels(w)...)
 			d.out[w] = append(d.out[w][:0], idx.OutLabels(w)...)
 		}
 		return
 	}
+	d.stats.Repairs++
 
 	inA := make([]bool, n)
 	for _, x := range anc {
@@ -180,34 +253,38 @@ func (d *DynamicIndex) repair(u, v graph.VertexID) {
 		inD[y] = true
 	}
 
-	// Fresh reachability from every affected source over the new
-	// graph, restricted to targets in D (one BFS per source; exact
-	// for deletions, where the old index cannot answer reach').
-	reachD := make(map[graph.VertexID]map[graph.VertexID]bool, len(anc))
-	for _, x := range anc {
-		m := make(map[graph.VertexID]bool)
-		graph.BFS(d.cur, x, func(w graph.VertexID) bool {
-			if inD[w] {
-				m[w] = true
-			}
-			return true
-		})
-		reachD[x] = m
-	}
-	// And reachability *to* every affected target from sources in A,
-	// for the out-label direction (x ∈ D as the labeling vertex,
-	// w ∈ A as the labeled one: does w reach x?).
-	reachA := make(map[graph.VertexID]map[graph.VertexID]bool, len(des))
-	inv := d.cur.Inverse()
-	for _, y := range des {
-		m := make(map[graph.VertexID]bool)
-		graph.BFS(inv, y, func(w graph.VertexID) bool {
-			if inA[w] {
-				m[w] = true
-			}
-			return true
-		})
-		reachA[y] = m
+	// Fresh A×D reachability over the new graph (exact even for
+	// deletions, where the old index cannot answer reach'). One
+	// relation serves both label directions — "x reaches y" read from
+	// a source x ∈ A is the same fact as "y is reached by x" read
+	// from a target y ∈ D — so BFS from whichever side is smaller:
+	// forward from each x ∈ A recording hits in D, or backward from
+	// each y ∈ D recording hits in A.
+	none := graph.Edge{U: -1, V: -1}
+	reach := make(map[graph.VertexID]map[graph.VertexID]bool, bfsSide)
+	var reachAD func(x, y graph.VertexID) bool
+	if len(anc) <= len(des) {
+		for _, x := range anc {
+			m := make(map[graph.VertexID]bool)
+			d.bfsFrom(d.outAdj, x, none, func(w graph.VertexID) {
+				if inD[w] {
+					m[w] = true
+				}
+			})
+			reach[x] = m
+		}
+		reachAD = func(x, y graph.VertexID) bool { return reach[x][y] }
+	} else {
+		for _, y := range des {
+			m := make(map[graph.VertexID]bool)
+			d.bfsFrom(d.inAdj, y, none, func(w graph.VertexID) {
+				if inA[w] {
+					m[w] = true
+				}
+			})
+			reach[y] = m
+		}
+		reachAD = func(x, y graph.VertexID) bool { return reach[y][x] }
 	}
 
 	// Rank-ascending sweep: at rank r the labels below r are final.
@@ -227,47 +304,18 @@ func (d *DynamicIndex) repair(u, v graph.VertexID) {
 		if inA[x] {
 			// x labels in-direction targets in D.
 			for _, y := range des {
-				want := reachD[x][y] && disjointBelow(d.out[x], d.in[y], r)
+				want := reachAD(x, y) && disjointBelow(d.out[x], d.in[y], r)
 				d.in[y] = setMembership(d.in[y], r, want)
 			}
 		}
 		if inD[x] {
 			// x labels out-direction targets in A.
 			for _, w := range anc {
-				want := reachA[x][w] && disjointBelow(d.out[w], d.in[x], r)
+				want := reachAD(w, x) && disjointBelow(d.out[w], d.in[x], r)
 				d.out[w] = setMembership(d.out[w], r, want)
 			}
 		}
 	}
-}
-
-// markSet collects the BFS closure of src over dir, additionally
-// traversing extra (the updated edge) as if present — this makes the
-// affected sets valid for deletions, where the removed edge's old
-// walks must still be considered.
-func markSet(dir *graph.Digraph, src graph.VertexID, n int, extra graph.Edge) []graph.VertexID {
-	seen := make([]bool, n)
-	queue := []graph.VertexID{src}
-	seen[src] = true
-	var out []graph.VertexID
-	for len(queue) > 0 {
-		w := queue[0]
-		queue = queue[1:]
-		out = append(out, w)
-		push := func(x graph.VertexID) {
-			if !seen[x] {
-				seen[x] = true
-				queue = append(queue, x)
-			}
-		}
-		for _, x := range dir.OutNeighbors(w) {
-			push(x)
-		}
-		if w == extra.U {
-			push(extra.V)
-		}
-	}
-	return out
 }
 
 // disjointBelow mirrors drl's refinement test: no common rank < bound.
@@ -299,6 +347,22 @@ func setMembership(list []order.Rank, r order.Rank, want bool) []order.Rank {
 		list = append(list[:i], list[i+1:]...)
 	}
 	return list
+}
+
+func sortedInsert(vs []graph.VertexID, v graph.VertexID) []graph.VertexID {
+	i := sort.Search(len(vs), func(i int) bool { return vs[i] >= v })
+	vs = append(vs, 0)
+	copy(vs[i+1:], vs[i:])
+	vs[i] = v
+	return vs
+}
+
+func sortedRemove(vs []graph.VertexID, v graph.VertexID) []graph.VertexID {
+	i := sort.Search(len(vs), func(i int) bool { return vs[i] >= v })
+	if i < len(vs) && vs[i] == v {
+		vs = append(vs[:i], vs[i+1:]...)
+	}
+	return vs
 }
 
 func contains(vs []graph.VertexID, v graph.VertexID) bool {

@@ -138,3 +138,164 @@ func TestDynamicInsertDeleteRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestDynamicEdgeCases covers the update inputs that don't appear in
+// the random suites: self-loops, duplicate inserts, deleting an edge
+// that was never inserted, and mixing these with real updates.
+func TestDynamicEdgeCases(t *testing.T) {
+	g := graph.FromEdges(6, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 3, V: 4},
+	})
+	d := NewDynamic(g)
+	check := func(step string) {
+		t.Helper()
+		cur := d.Graph()
+		want := Build(cur, d.ord)
+		if got := d.Snapshot(); !want.Equal(got) {
+			t.Fatalf("%s: labels diverged: %s", step, want.Diff(got))
+		}
+		for s := graph.VertexID(0); int(s) < 6; s++ {
+			for x := graph.VertexID(0); int(x) < 6; x++ {
+				if got, want := d.Reachable(s, x), graph.Reachable(cur, s, x); got != want {
+					t.Fatalf("%s: q(%d,%d) = %v, want %v", step, s, x, got, want)
+				}
+			}
+		}
+	}
+
+	// Self-loop insert: reachability is reflexive already, so labels
+	// must still match a fresh build of the graph-with-loop.
+	if err := d.InsertEdge(2, 2); err != nil {
+		t.Fatal(err)
+	}
+	check("insert self-loop (2,2)")
+	// Duplicate insert of the self-loop and of a plain edge: no-ops.
+	before := d.Snapshot()
+	m := d.NumEdges()
+	if err := d.InsertEdge(2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.InsertEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !before.Equal(d.Snapshot()) || d.NumEdges() != m {
+		t.Fatal("duplicate inserts changed the index")
+	}
+	// Delete of a never-inserted edge, including a missing self-loop.
+	if err := d.DeleteEdge(5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.DeleteEdge(4, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !before.Equal(d.Snapshot()) || d.NumEdges() != m {
+		t.Fatal("deletes of missing edges changed the index")
+	}
+	// Self-loop delete round-trips.
+	if err := d.DeleteEdge(2, 2); err != nil {
+		t.Fatal(err)
+	}
+	check("delete self-loop (2,2)")
+	// Self-loop on an isolated vertex.
+	if err := d.InsertEdge(5, 5); err != nil {
+		t.Fatal(err)
+	}
+	check("insert self-loop on isolated vertex")
+	// None of the above were no-ops counted as repairs beyond the real
+	// updates: 3 effective updates so far.
+	if s := d.UpdateStats(); s.Repairs+s.Rebuilds != 3 {
+		t.Fatalf("update stats %+v, want 3 effective updates", s)
+	}
+}
+
+// TestDynamicChainsAcrossThreshold builds and breaks a long chain so
+// single updates swing between the localized-repair and the
+// rebuild-fallback regime, checking exactness on both sides.
+func TestDynamicChainsAcrossThreshold(t *testing.T) {
+	// Two long paths; bridging them makes ANC×DES ≈ (n/2)² which
+	// overwhelms 8·(n+m) and must take the rebuild path, while leaf
+	// updates stay in the repair path.
+	const half = 60
+	var edges []graph.Edge
+	for i := 0; i < half-1; i++ {
+		edges = append(edges, graph.Edge{U: graph.VertexID(i), V: graph.VertexID(i + 1)})
+		edges = append(edges, graph.Edge{U: graph.VertexID(half + i), V: graph.VertexID(half + i + 1)})
+	}
+	d := NewDynamic(graph.FromEdges(2*half, edges))
+
+	check := func(step string) {
+		t.Helper()
+		want := Build(d.Graph(), d.ord)
+		if got := d.Snapshot(); !want.Equal(got) {
+			t.Fatalf("%s: labels diverged: %s", step, want.Diff(got))
+		}
+	}
+
+	// Local update: a skip-edge from the chain head has ANC = {head},
+	// so the affected product stays tiny and must repair in place.
+	if err := d.InsertEdge(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	check("skip-edge insert")
+	if err := d.DeleteEdge(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	check("skip-edge delete")
+	if d.UpdateStats().Rebuilds != 0 {
+		t.Fatalf("chain-local updates took the rebuild path: %+v", d.UpdateStats())
+	}
+
+	// Bridge the chains end-to-start: ANC(tail₁)=chain 1, DES(head₂)=
+	// chain 2, product ≈ 3600 > 8·(120+119) ≈ 1912 → rebuild.
+	if err := d.InsertEdge(half-1, half); err != nil {
+		t.Fatal(err)
+	}
+	check("bridge chains")
+	if got := d.UpdateStats().Rebuilds; got != 1 {
+		t.Fatalf("bridge insert: rebuilds = %d, want 1", got)
+	}
+	if !d.Reachable(0, 2*half-1) {
+		t.Fatal("bridge did not connect the chains")
+	}
+
+	// Break the bridge: same affected sets, rebuild again.
+	if err := d.DeleteEdge(half-1, half); err != nil {
+		t.Fatal(err)
+	}
+	check("break bridge")
+	if got := d.UpdateStats().Rebuilds; got != 2 {
+		t.Fatalf("bridge delete: rebuilds = %d, want 2", got)
+	}
+	if d.Reachable(0, 2*half-1) {
+		t.Fatal("stale reachability across the removed bridge")
+	}
+}
+
+// TestDynamicRebuildThreshold is the regression test for the public
+// doc promise that an update touching most of the graph falls back to
+// a rebuild: it pins the threshold inequality itself.
+func TestDynamicRebuildThreshold(t *testing.T) {
+	const half = 60
+	var edges []graph.Edge
+	for i := 0; i < half-1; i++ {
+		edges = append(edges, graph.Edge{U: graph.VertexID(i), V: graph.VertexID(i + 1)})
+		edges = append(edges, graph.Edge{U: graph.VertexID(half + i), V: graph.VertexID(half + i + 1)})
+	}
+	d := NewDynamic(graph.FromEdges(2*half, edges))
+	n, m := int64(d.NumVertices()), d.NumEdges()
+	// The bridge's affected sets are exactly the two chains.
+	anc, des := int64(half), int64(half)
+	if anc*des <= 8*(n+m+1) {
+		t.Fatalf("test graph no longer crosses the threshold: %d ≤ %d", anc*des, 8*(n+m+1))
+	}
+	if err := d.InsertEdge(half-1, half); err != nil {
+		t.Fatal(err)
+	}
+	if s := d.UpdateStats(); s.Rebuilds != 1 || s.Repairs != 0 {
+		t.Fatalf("threshold did not trigger the rebuild fallback: %+v", s)
+	}
+	want := Build(d.Graph(), d.ord)
+	if got := d.Snapshot(); !want.Equal(got) {
+		t.Fatalf("rebuild fallback produced different labels: %s", want.Diff(got))
+	}
+}

@@ -1,0 +1,421 @@
+// Package wal is the durable write-ahead edge log of the serving
+// tier's mutation path (DESIGN.md §12): POST /edges appends here
+// first, the background refresher folds the log into the dynamic
+// index in batches, and after a crash the log replays into a fresh
+// index — an acknowledged write is never lost.
+//
+// File format, version 1 (delta+varint in the house style of the
+// Pregel message codec, internal/pregel/codec.go):
+//
+//	file    := header record*
+//	header  := "RLWAL" version(1)
+//	record  := uvarint(payloadLen) payload crc32(payload, IEEE, LE)
+//	payload := uvarint(seqDelta) op(1) uvarint(u) uvarint(v)
+//
+// Sequence numbers are assigned densely from 1 and stored as the
+// delta to the previous record's seq, so a well-formed log encodes
+// each delta in one byte. Decoding is strict: an unknown version, a
+// zero seq delta, an op outside {insert, delete}, a vertex beyond
+// int32, an oversized or truncated frame, or a CRC mismatch is a hard
+// error — a corrupt record is never silently skipped or mis-parsed.
+// The one sanctioned repair is at Open: a torn tail (the suffix after
+// the last valid record, which a mid-append crash leaves behind) is
+// truncated away and reported, the standard WAL recovery contract.
+//
+// Append is group-committed: each call buffers its record under the
+// append lock and then joins the earliest fsync that covers it, so N
+// concurrent appenders pay ~one fsync instead of N. Append returns
+// only after its record is durable.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Op is the mutation kind of one record.
+type Op byte
+
+// The record kinds. Values are part of the on-disk format.
+const (
+	OpInsert Op = 1
+	OpDelete Op = 2
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("op(%d)", byte(o))
+	}
+}
+
+// Record is one durable edge mutation.
+type Record struct {
+	Seq  uint64 // dense, starting at 1
+	Op   Op
+	U, V graph.VertexID
+}
+
+// header is the 6-byte file prologue: magic plus format version.
+var header = []byte{'R', 'L', 'W', 'A', 'L', 0x01}
+
+// maxPayload bounds one record's payload: a maximal payload is
+// uvarint64(10) + op(1) + 2×uvarint32(5) = 21 bytes, so anything
+// larger is corrupt and rejected before allocation.
+const maxPayload = 32
+
+// checkpointEvery is the record interval of the sparse seq→offset
+// index built during Open and extended by Append, which lets Replay
+// seek near its starting seq instead of scanning the whole file.
+const checkpointEvery = 4096
+
+// AppendRecord encodes r (whose Seq must exceed prevSeq) onto buf.
+// The frame is self-contained given prevSeq, so a reader that knows
+// the previous seq can decode it with DecodeRecord.
+func AppendRecord(buf []byte, prevSeq uint64, r Record) ([]byte, error) {
+	if r.Seq <= prevSeq {
+		return buf, fmt.Errorf("wal: seq %d not above previous %d", r.Seq, prevSeq)
+	}
+	if r.Op != OpInsert && r.Op != OpDelete {
+		return buf, fmt.Errorf("wal: unknown op %d", byte(r.Op))
+	}
+	if r.U < 0 || r.V < 0 {
+		return buf, fmt.Errorf("wal: negative vertex in edge (%d,%d)", r.U, r.V)
+	}
+	var payload [maxPayload]byte
+	p := binary.PutUvarint(payload[:], r.Seq-prevSeq)
+	payload[p] = byte(r.Op)
+	p++
+	p += binary.PutUvarint(payload[p:], uint64(r.U))
+	p += binary.PutUvarint(payload[p:], uint64(r.V))
+	buf = binary.AppendUvarint(buf, uint64(p))
+	buf = append(buf, payload[:p]...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload[:p])), nil
+}
+
+// DecodeRecord decodes one frame from the front of buf, given the seq
+// of the preceding record. It returns the record and the number of
+// bytes consumed. Every structural defect — truncation, an oversized
+// frame, a CRC mismatch, a zero seq delta, an unknown op, a vertex
+// overflowing int32, or a payload with trailing bytes — is an error;
+// a successful decode re-encodes to exactly the consumed bytes.
+func DecodeRecord(buf []byte, prevSeq uint64) (Record, int, error) {
+	plen, k := binary.Uvarint(buf)
+	if k <= 0 {
+		return Record{}, 0, fmt.Errorf("wal: truncated frame length")
+	}
+	if plen == 0 || plen > maxPayload {
+		return Record{}, 0, fmt.Errorf("wal: frame payload of %d bytes out of range (1..%d)", plen, maxPayload)
+	}
+	if uint64(len(buf)-k) < plen+4 {
+		return Record{}, 0, fmt.Errorf("wal: truncated frame: %d payload+crc bytes declared, %d available", plen+4, len(buf)-k)
+	}
+	payload := buf[k : k+int(plen)]
+	wantCRC := binary.LittleEndian.Uint32(buf[k+int(plen):])
+	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
+		return Record{}, 0, fmt.Errorf("wal: CRC mismatch: computed %08x, stored %08x", got, wantCRC)
+	}
+	delta, p := binary.Uvarint(payload)
+	if p <= 0 {
+		return Record{}, 0, fmt.Errorf("wal: corrupt payload: unreadable seq delta")
+	}
+	if delta == 0 {
+		return Record{}, 0, fmt.Errorf("wal: corrupt payload: zero seq delta")
+	}
+	if delta > math.MaxUint64-prevSeq {
+		return Record{}, 0, fmt.Errorf("wal: corrupt payload: seq delta %d overflows", delta)
+	}
+	if p >= len(payload) {
+		return Record{}, 0, fmt.Errorf("wal: corrupt payload: truncated before op")
+	}
+	op := Op(payload[p])
+	p++
+	if op != OpInsert && op != OpDelete {
+		return Record{}, 0, fmt.Errorf("wal: unknown op %d", byte(op))
+	}
+	u, n := binary.Uvarint(payload[p:])
+	if n <= 0 {
+		return Record{}, 0, fmt.Errorf("wal: corrupt payload: truncated in U")
+	}
+	p += n
+	v, n := binary.Uvarint(payload[p:])
+	if n <= 0 {
+		return Record{}, 0, fmt.Errorf("wal: corrupt payload: truncated in V")
+	}
+	p += n
+	if p != len(payload) {
+		return Record{}, 0, fmt.Errorf("wal: corrupt payload: %d trailing bytes", len(payload)-p)
+	}
+	if u > math.MaxInt32 || v > math.MaxInt32 {
+		return Record{}, 0, fmt.Errorf("wal: vertex out of int32 range in edge (%d,%d)", u, v)
+	}
+	rec := Record{
+		Seq: prevSeq + delta,
+		Op:  op,
+		U:   graph.VertexID(u),
+		V:   graph.VertexID(v),
+	}
+	// A minimal encoder must reproduce the frame byte-for-byte; a frame
+	// that decodes but used an overlong varint would break replay
+	// determinism, so it is rejected as corrupt too.
+	reenc, err := AppendRecord(nil, prevSeq, rec)
+	if err != nil {
+		return Record{}, 0, err
+	}
+	consumed := k + int(plen) + 4
+	if len(reenc) != consumed || string(reenc) != string(buf[:consumed]) {
+		return Record{}, 0, fmt.Errorf("wal: non-canonical frame encoding")
+	}
+	return rec, consumed, nil
+}
+
+// checkpoint is one sparse replay index entry: the record with seq
+// Seq ends at byte offset Off (so decoding resumes there with
+// prevSeq = Seq).
+type checkpoint struct {
+	Seq uint64
+	Off int64
+}
+
+// Log is a durable, append-only edge log.
+type Log struct {
+	path string
+	f    *os.File
+
+	// mu guards seq assignment and the file write, keeping records in
+	// seq order on disk.
+	mu      sync.Mutex
+	lastSeq uint64
+	size    int64 // bytes written (durable or not)
+	count   uint64
+	cps     []checkpoint
+	encBuf  []byte
+
+	// syncMu serializes fsync; syncedSeq is the group-commit frontier.
+	syncMu    sync.Mutex
+	syncedSeq uint64
+
+	torn int64 // bytes truncated during recovery
+}
+
+// Open opens (creating if absent) the log at path and recovers it:
+// the file is scanned, every valid record indexed, and a torn tail —
+// bytes after the last valid record — truncated away. Records before
+// the tear are never touched; corruption inside them is a hard error.
+func Open(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{path: path, f: f}
+	if err := l.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// recover scans the file, validates the header and every record, and
+// truncates a torn tail.
+func (l *Log) recover() error {
+	data, err := io.ReadAll(l.f)
+	if err != nil {
+		return fmt.Errorf("wal: reading %s: %w", l.path, err)
+	}
+	if len(data) == 0 {
+		if _, err := l.f.Write(header); err != nil {
+			return fmt.Errorf("wal: writing header: %w", err)
+		}
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: syncing header: %w", err)
+		}
+		l.size = int64(len(header))
+		return nil
+	}
+	if len(data) < len(header) || string(data[:5]) != "RLWAL" {
+		return fmt.Errorf("wal: %s is not a write-ahead edge log", l.path)
+	}
+	if data[5] != header[5] {
+		return fmt.Errorf("wal: %s: unsupported format version 0x%02x (want 0x%02x)", l.path, data[5], header[5])
+	}
+	off := int64(len(header))
+	prev := uint64(0)
+	for off < int64(len(data)) {
+		rec, n, err := DecodeRecord(data[off:], prev)
+		if err != nil {
+			// Everything after the last valid record is a torn tail: a
+			// crash mid-append can only damage the suffix, because
+			// records are written in order and acknowledged after fsync.
+			l.torn = int64(len(data)) - off
+			break
+		}
+		off += int64(n)
+		prev = rec.Seq
+		l.count++
+		if l.count%checkpointEvery == 0 {
+			l.cps = append(l.cps, checkpoint{Seq: prev, Off: off})
+		}
+	}
+	l.lastSeq = prev
+	l.syncedSeq = prev
+	l.size = off
+	if l.torn > 0 {
+		if err := l.f.Truncate(off); err != nil {
+			return fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: syncing truncation: %w", err)
+		}
+	}
+	if _, err := l.f.Seek(off, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: seeking past recovered records: %w", err)
+	}
+	return nil
+}
+
+// TornBytes reports how many trailing bytes recovery discarded (0 for
+// a cleanly closed log).
+func (l *Log) TornBytes() int64 { return l.torn }
+
+// LastSeq returns the highest assigned sequence number (recovered or
+// appended). Appends in flight may not be durable yet; SyncedSeq is
+// the durability frontier.
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastSeq
+}
+
+// SyncedSeq returns the highest sequence number known durable.
+func (l *Log) SyncedSeq() uint64 {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	return l.syncedSeq
+}
+
+// Count returns the number of records in the log.
+func (l *Log) Count() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.count
+}
+
+// Append assigns the next sequence number to the edge mutation,
+// writes it, and returns once the record is durable (fsynced). Calls
+// from concurrent goroutines are batched into shared fsyncs.
+func (l *Log) Append(op Op, u, v graph.VertexID) (uint64, error) {
+	l.mu.Lock()
+	seq := l.lastSeq + 1
+	buf, err := AppendRecord(l.encBuf[:0], l.lastSeq, Record{Seq: seq, Op: op, U: u, V: v})
+	if err != nil {
+		l.mu.Unlock()
+		return 0, err
+	}
+	l.encBuf = buf
+	if _, err := l.f.Write(buf); err != nil {
+		l.mu.Unlock()
+		return 0, fmt.Errorf("wal: appending record %d: %w", seq, err)
+	}
+	l.lastSeq = seq
+	l.size += int64(len(buf))
+	l.count++
+	if l.count%checkpointEvery == 0 {
+		l.cps = append(l.cps, checkpoint{Seq: seq, Off: l.size})
+	}
+	l.mu.Unlock()
+	return seq, l.syncThrough(seq)
+}
+
+// syncThrough blocks until every record up to seq is fsynced. The
+// first caller through the lock syncs on behalf of everyone whose
+// record is already written — group commit.
+func (l *Log) syncThrough(seq uint64) error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	if l.syncedSeq >= seq {
+		return nil
+	}
+	l.mu.Lock()
+	frontier := l.lastSeq
+	l.mu.Unlock()
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.syncedSeq = frontier
+	return nil
+}
+
+// Sync forces an fsync of everything appended so far.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	frontier := l.lastSeq
+	l.mu.Unlock()
+	return l.syncThrough(frontier)
+}
+
+// Replay streams every record with seq > fromSeq, in order, through
+// fn; fn returning an error stops the replay and propagates. It reads
+// through an independent file handle and may run while appends
+// continue, but only records appended before the call are guaranteed
+// to be seen. A decode failure inside the replayed range is a hard
+// error — recovery at Open already removed the only legitimate
+// damage.
+func (l *Log) Replay(fromSeq uint64, fn func(Record) error) error {
+	l.mu.Lock()
+	end := l.size
+	start := checkpoint{Seq: 0, Off: int64(len(header))}
+	for _, cp := range l.cps {
+		if cp.Seq <= fromSeq {
+			start = cp
+		} else {
+			break
+		}
+	}
+	l.mu.Unlock()
+
+	f, err := os.Open(l.path)
+	if err != nil {
+		return fmt.Errorf("wal: opening for replay: %w", err)
+	}
+	defer f.Close()
+	data := make([]byte, end-start.Off)
+	if _, err := f.ReadAt(data, start.Off); err != nil {
+		return fmt.Errorf("wal: reading replay range: %w", err)
+	}
+	off := 0
+	prev := start.Seq
+	for off < len(data) {
+		rec, n, err := DecodeRecord(data[off:], prev)
+		if err != nil {
+			return fmt.Errorf("wal: replay at byte %d: %w", start.Off+int64(off), err)
+		}
+		off += n
+		prev = rec.Seq
+		if rec.Seq > fromSeq {
+			if err := fn(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Close syncs and closes the log.
+func (l *Log) Close() error {
+	err := l.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

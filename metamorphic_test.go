@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"math/rand"
+	"sort"
 	"testing"
 )
 
@@ -195,5 +196,138 @@ func TestMetamorphicBatchEquality(t *testing.T) {
 					v.name, i, p.S, p.T, got[i], want)
 			}
 		}
+	}
+}
+
+// TestMetamorphicDynamicMatchesStaticBuilds: after an arbitrary
+// insert/delete sequence, the dynamic maintainer must answer exactly
+// like a fresh static build of the mutated graph — for every build
+// method. The mutated edge set is tracked independently of the
+// maintainer, so a bookkeeping bug in its adjacency cannot hide by
+// feeding the static builds its own corrupted graph.
+func TestMetamorphicDynamicMatchesStaticBuilds(t *testing.T) {
+	seeds := []int64{31, 32}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	const n, ops = 60, 40
+	for _, seed := range seeds {
+		g := randomDAG(n, 120, seed)
+		dyn, err := NewDynamicIndex(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		have := make(map[[2]VertexID]bool)
+		for u := 0; u < n; u++ {
+			for _, v := range g.OutNeighbors(VertexID(u)) {
+				have[[2]VertexID{VertexID(u), v}] = true
+			}
+		}
+		rng := rand.New(rand.NewSource(seed * 97))
+		for k := 0; k < ops; k++ {
+			if rng.Intn(2) == 0 || len(have) == 0 {
+				// Insert an arbitrary pair — backward edges welcome, a
+				// DAG plus cycles is the harder regime.
+				u, v := VertexID(rng.Intn(n)), VertexID(rng.Intn(n))
+				if u == v {
+					continue
+				}
+				if err := dyn.InsertEdge(u, v); err != nil {
+					t.Fatal(err)
+				}
+				have[[2]VertexID{u, v}] = true
+			} else {
+				all := make([][2]VertexID, 0, len(have))
+				for e := range have {
+					all = append(all, e)
+				}
+				sort.Slice(all, func(i, j int) bool {
+					return all[i][0] < all[j][0] || (all[i][0] == all[j][0] && all[i][1] < all[j][1])
+				})
+				e := all[rng.Intn(len(all))]
+				if err := dyn.DeleteEdge(e[0], e[1]); err != nil {
+					t.Fatal(err)
+				}
+				delete(have, e)
+			}
+		}
+		if s := dyn.UpdateStats(); s.Repairs+s.Rebuilds == 0 {
+			t.Fatalf("seed %d: no effective updates applied", seed)
+		}
+		edges := make([]Edge, 0, len(have))
+		for e := range have {
+			edges = append(edges, Edge{From: e[0], To: e[1]})
+		}
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].From != edges[j].From {
+				return edges[i].From < edges[j].From
+			}
+			return edges[i].To < edges[j].To
+		})
+		mg := NewGraph(n, edges)
+		for _, v := range metamorphicVariants() {
+			idx, err := Build(context.Background(), mg, v.opts)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, v.name, err)
+			}
+			for s := 0; s < n; s++ {
+				for u := 0; u < n; u++ {
+					if got, want := dyn.Reachable(VertexID(s), VertexID(u)), idx.Reachable(VertexID(s), VertexID(u)); got != want {
+						t.Fatalf("seed %d %s: after %d updates reach(%d,%d): dynamic %v, fresh build %v",
+							seed, v.name, ops, s, u, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMetamorphicDynamicRoundTrip: inserting a batch of fresh edges
+// and then deleting them (in a different order) must return the
+// maintainer to byte-identical labels — the canonical-label guarantee
+// under the frozen order, not merely answer equivalence.
+func TestMetamorphicDynamicRoundTrip(t *testing.T) {
+	const n = 60
+	g := randomDAG(n, 120, 33)
+	dyn, err := NewDynamicIndex(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := make(map[[2]VertexID]bool)
+	for u := 0; u < n; u++ {
+		for _, v := range g.OutNeighbors(VertexID(u)) {
+			base[[2]VertexID{VertexID(u), v}] = true
+		}
+	}
+	before := dyn.Snapshot()
+
+	rng := rand.New(rand.NewSource(34))
+	var added [][2]VertexID
+	for len(added) < 12 {
+		u, v := VertexID(rng.Intn(n)), VertexID(rng.Intn(n))
+		// Fresh and reachability-changing, so the mid-sequence labels
+		// provably differ and the round-trip assertion has teeth.
+		if u == v || base[[2]VertexID{u, v}] || dyn.Reachable(u, v) {
+			continue
+		}
+		if err := dyn.InsertEdge(u, v); err != nil {
+			t.Fatal(err)
+		}
+		added = append(added, [2]VertexID{u, v})
+	}
+	mid := dyn.Snapshot()
+	if before.LabelIndex().Equal(mid.LabelIndex()) {
+		t.Fatal("inserts did not change the labels; round-trip check is vacuous")
+	}
+	rng.Shuffle(len(added), func(i, j int) { added[i], added[j] = added[j], added[i] })
+	for _, e := range added {
+		if err := dyn.DeleteEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := dyn.Snapshot()
+	if !before.LabelIndex().Equal(after.LabelIndex()) {
+		t.Fatalf("insert-then-delete round trip diverged: %s",
+			before.LabelIndex().Diff(after.LabelIndex()))
 	}
 }

@@ -1,0 +1,160 @@
+#!/bin/sh
+# End-to-end update smoke (make updatetest, CI update-smoke job):
+# drserve in update mode — a mutable graph behind POST /edges with a
+# write-ahead log and a background refresher. Checks the whole
+# mutation contract over real HTTP:
+#
+#   - point writes: an insert is acknowledged with the epoch that will
+#     contain it, the answer flips once that epoch is live, and the
+#     matching delete restores the original answer;
+#   - a drload burst with concurrent writers (queries and mutations on
+#     the same server, every write acknowledged);
+#   - durability: kill -9 mid-stream, restart on the same WAL, and
+#     every acknowledged write must survive the replay;
+#   - graceful shutdown on SIGTERM.
+#
+# Everything runs on one machine inside a temp dir.
+set -eu
+
+cd "$(dirname "$0")/.."
+work="$(mktemp -d)"
+addr=127.0.0.1:18325
+srv_pid=""
+cleanup() {
+	[ -n "$srv_pid" ] && kill -9 "$srv_pid" 2>/dev/null || true
+	rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
+
+# post_edge OP U V -> prints the acknowledged epoch
+post_edge() {
+	curl -sf -X POST "http://$addr/edges" \
+		-d "{\"op\":\"$1\",\"u\":$2,\"v\":$3}" |
+		sed -n 's/.*"epoch":\([0-9]*\).*/\1/p'
+}
+
+# ack_seq OP U V -> prints the acknowledged log seq
+ack_seq() {
+	curl -sf -X POST "http://$addr/edges" \
+		-d "{\"op\":\"$1\",\"u\":$2,\"v\":$3}" |
+		sed -n 's/.*"seq":\([0-9]*\).*/\1/p'
+}
+
+# reach U V -> prints true or false
+reach() {
+	curl -sf "http://$addr/reach?s=$1&t=$2" |
+		sed -n 's/.*"reachable":\(true\|false\).*/\1/p'
+}
+
+# serving_epoch -> prints the X-Reachlab-Epoch of a query response
+serving_epoch() {
+	curl -sf -i "http://$addr/reach?s=0&t=1" |
+		tr -d '\r' | sed -n 's/^X-Reachlab-Epoch: //p'
+}
+
+# wait_epoch N -> polls until the serving epoch reaches N
+wait_epoch() {
+	i=0
+	while [ "$(serving_epoch)" -lt "$1" ]; do
+		i=$((i + 1))
+		[ "$i" -gt 100 ] && { echo "epoch never reached $1" >&2; exit 1; }
+		sleep 0.1
+	done
+}
+
+# stat_field NAME -> prints the integer field NAME from /stats
+stat_field() {
+	curl -sf "http://$addr/stats" |
+		sed -n "s/.*\"$1\":\([0-9]*\).*/\1/p"
+}
+
+wait_healthy() {
+	i=0
+	until curl -sf "http://$addr/healthz" >/dev/null 2>&1; do
+		i=$((i + 1))
+		[ "$i" -gt 100 ] && { echo "drserve never became healthy" >&2; exit 1; }
+		sleep 0.2
+	done
+}
+
+echo "== build tools"
+go build -o "$work/bin/" ./cmd/drgen ./cmd/drserve ./cmd/drload
+
+echo "== generate graph"
+"$work/bin/drgen" -family citation -n 2000 -deg 4 -seed 7 -text -o "$work/graph.txt"
+
+echo "== start drserve in update mode"
+"$work/bin/drserve" -graph "$work/graph.txt" -wal "$work/edges.wal" \
+	-refresh-every 200ms -listen "$addr" -grace 5s &
+srv_pid=$!
+wait_healthy
+
+echo "== point writes: insert flips the answer at the acked epoch, delete restores it"
+# Find a pair (u, v) that is initially unreachable; inserting the
+# direct edge u->v must flip it, deleting must flip it back. In the
+# citation family edges cite backwards (new -> old), so old -> new
+# pairs are unreachable until we add one.
+u="" v=""
+for cand_u in 3 17 42; do
+	for cand_v in 1999 1500 1234; do
+		if [ "$(reach "$cand_u" "$cand_v")" = "false" ]; then
+			u=$cand_u v=$cand_v
+			break 2
+		fi
+	done
+done
+[ -n "$u" ] || { echo "no unreachable pair found" >&2; exit 1; }
+
+epoch="$(post_edge insert "$u" "$v")"
+[ -n "$epoch" ] || { echo "insert not acknowledged" >&2; exit 1; }
+wait_epoch "$epoch"
+[ "$(reach "$u" "$v")" = "true" ] || {
+	echo "reach($u,$v) still false at acked epoch $epoch" >&2
+	exit 1
+}
+
+epoch="$(post_edge delete "$u" "$v")"
+wait_epoch "$epoch"
+[ "$(reach "$u" "$v")" = "false" ] || {
+	echo "reach($u,$v) not restored after delete" >&2
+	exit 1
+}
+
+echo "== drload burst with concurrent writers"
+"$work/bin/drload" -addr "$addr" -clients 4 -requests 1500 -batch 8 \
+	-writers 2 -write-every 20ms -write-window 500 -seed 5
+
+echo "== update stats sanity"
+last_seq="$(stat_field last_seq)"
+[ "$last_seq" -gt 2 ] || { echo "last_seq=$last_seq after burst" >&2; exit 1; }
+[ "$(stat_field refreshes)" -gt 0 ] || { echo "no refreshes recorded" >&2; exit 1; }
+
+echo "== durability: kill -9, restart on the same WAL"
+[ "$(reach 5 1998)" = "false" ] || { echo "probe pair (5,1998) already reachable" >&2; exit 1; }
+[ "$(reach 7 1997)" = "false" ] || { echo "probe pair (7,1997) already reachable" >&2; exit 1; }
+seq1="$(ack_seq insert 5 1998)"
+seq2="$(ack_seq insert 7 1997)"
+[ "$seq2" -gt "$seq1" ] || { echo "acks not monotone: $seq1 then $seq2" >&2; exit 1; }
+kill -9 "$srv_pid"
+wait "$srv_pid" 2>/dev/null || true
+
+"$work/bin/drserve" -graph "$work/graph.txt" -wal "$work/edges.wal" \
+	-refresh-every 200ms -listen "$addr" -grace 5s &
+srv_pid=$!
+wait_healthy
+applied="$(stat_field applied_seq)"
+[ "$applied" -ge "$seq2" ] || {
+	echo "acked seq $seq2 lost: applied_seq=$applied after replay" >&2
+	exit 1
+}
+[ "$(reach 5 1998)" = "true" ] || { echo "acked insert(5,1998) lost" >&2; exit 1; }
+[ "$(reach 7 1997)" = "true" ] || { echo "acked insert(7,1997) lost" >&2; exit 1; }
+
+echo "== graceful shutdown on SIGTERM"
+kill -TERM "$srv_pid"
+rc=0
+wait "$srv_pid" || rc=$?
+srv_pid=""
+[ "$rc" -eq 0 ] || { echo "drserve exited $rc on SIGTERM" >&2; exit 1; }
+
+echo "update smoke: OK"

@@ -65,6 +65,11 @@ type QueryHandler struct {
 	reloadMu sync.Mutex
 	loader   func(ref string) (*Index, error)
 
+	// updater, when set via EnableUpdates, serves POST /edges and the
+	// /stats "updates" block (server_update.go). It is bound once at
+	// startup, before the handler sees traffic.
+	updater *Updater
+
 	// Cache geometry, re-applied to the fresh cache of every epoch.
 	cachePairs  int
 	cacheShards int
@@ -188,6 +193,7 @@ func NewQueryHandlerOpts(idx *Index, opts ServeOptions) *QueryHandler {
 	h.mux.HandleFunc("GET /reach", h.reach)
 	h.mux.HandleFunc("POST /reach/batch", h.reachBatch)
 	h.mux.HandleFunc("POST /admin/reload", h.reload)
+	h.mux.HandleFunc("POST /edges", h.edges)
 	h.mux.HandleFunc("GET /stats", h.stats)
 	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		st := h.state.Load()
@@ -456,7 +462,7 @@ func (h *QueryHandler) stats(w http.ResponseWriter, _ *http.Request) {
 	st := stSrv.idx.Stats()
 	bs := stSrv.idx.BuildStats()
 	hits, misses := h.CacheStats()
-	writeJSON(w, map[string]any{
+	doc := map[string]any{
 		"vertices": stSrv.idx.NumVertices(),
 		// Epoch bookkeeping: index_epoch advances by one per reload,
 		// index_vertices is the ID space of the index serving *now* —
@@ -484,7 +490,13 @@ func (h *QueryHandler) stats(w http.ResponseWriter, _ *http.Request) {
 			"checkpoints":          bs.Checkpoints,
 			"last_checkpoint_step": bs.LastCheckpointStep,
 		},
-	})
+	}
+	// Mutation-path counters, present only when this replica accepts
+	// POST /edges (server_update.go).
+	if h.updater != nil {
+		doc["updates"] = h.updater.Stats()
+	}
+	writeJSON(w, doc)
 }
 
 // writeJSON encodes v directly onto the wire. If encoding fails the

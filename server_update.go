@@ -1,0 +1,500 @@
+package reachlab
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/tol"
+	"repro/internal/wal"
+)
+
+// The mutation path for the serving tier (DESIGN.md §12). The paper's
+// §II-B Remark leaves index maintenance under updates open; the
+// serving-side answer here is a write-ahead edge log in front of the
+// centralized dynamic maintainer:
+//
+//	POST /edges → wal.Log (durable) → [refresher] → tol.DynamicIndex
+//	                                       ↓ snapshot
+//	                              QueryHandler.Swap (epoch k+1)
+//
+// Queries keep serving the frozen epoch-k index at full speed while
+// the refresher drains the log in batches into the dynamic maintainer
+// and freezes the result into the next epoch. A write is acknowledged
+// only after its WAL append is fsync-durable, and the acknowledgement
+// carries the exact epoch that will first contain it, so a client can
+// poll X-Reachlab-Epoch (or /healthz) for read-your-writes.
+//
+// Staleness is bounded by the refresh interval plus one batch drain:
+// an acknowledged write waits at most RefreshEvery for the next cut
+// plus ceil(backlog/RefreshBatch) swap cycles if a burst outran one
+// batch.
+
+// ErrUpdaterClosed is returned by Apply after Close.
+var ErrUpdaterClosed = errors.New("reachlab: updater closed")
+
+// ErrVertexRange is returned (wrapped) by Apply for an endpoint
+// outside the graph's ID space.
+var ErrVertexRange = errors.New("reachlab: vertex out of range")
+
+// UpdaterOptions configures NewUpdater.
+type UpdaterOptions struct {
+	// RefreshEvery is the refresher's tick interval (default 2s):
+	// the staleness bound for a write arriving into an idle log.
+	RefreshEvery time.Duration
+	// RefreshBatch caps how many log records one refresh applies
+	// before freezing and swapping a snapshot (default 1024). A burst
+	// larger than one batch drains over several epochs.
+	RefreshBatch int
+	// Obs receives the update-path metrics; nil disables them.
+	Obs *MetricsRegistry
+}
+
+// DefaultRefreshEvery and DefaultRefreshBatch back the zero values of
+// UpdaterOptions.
+const (
+	DefaultRefreshEvery = 2 * time.Second
+	DefaultRefreshBatch = 1024
+)
+
+// Updater owns the mutation path of one serving replica: the durable
+// edge log, the dynamic maintainer that absorbs it, and the epoch
+// bookkeeping that ties acknowledged sequence numbers to served
+// epochs. It must be the *only* source of QueryHandler.Swap calls —
+// update mode disables the reload loader so epochs advance in lock
+// step with log sequence numbers (the epoch-acknowledgement contract
+// breaks if anything else bumps the epoch).
+type Updater struct {
+	log   *wal.Log
+	dyn   *tol.DynamicIndex
+	every time.Duration
+	batch int
+
+	// mu guards the refresh plan: what the published epoch contains
+	// (appliedSeq), what the in-flight refresh will publish (cutSeq),
+	// and the epoch→seq history. Apply takes it briefly to compute
+	// the promised epoch; the refresher takes it around the swap, so
+	// a promise computed under mu is exact.
+	mu         sync.Mutex
+	h          *QueryHandler
+	appliedSeq uint64
+	cutSeq     uint64
+	inflight   bool
+	epochSeq   map[uint64]uint64
+	firstPend  time.Time // append time of the oldest unapplied write
+	closed     bool
+
+	stop chan struct{}
+	done chan struct{}
+
+	// testHookMidRefresh, when set, runs after a refresh batch is cut
+	// and applied but before the snapshot swap — the window chaos
+	// tests stretch to catch readers against a stale epoch.
+	testHookMidRefresh func()
+
+	walAppends  *obs.Counter
+	refreshes   *obs.Counter
+	refreshHist *obs.Histogram
+	seqLag      *obs.Gauge
+	epochLag    *obs.Gauge
+	staleness   *obs.Gauge
+	repairs     *obs.Counter
+	rebuilds    *obs.Counter
+	nRefreshes  int64 // completed refresh swaps, under mu
+	statRepairs int64 // last folded tol.UpdateStats, under mu
+	statRebuild int64
+}
+
+// NewUpdater builds the mutation path over g and log: it constructs
+// the dynamic maintainer, replays every record already in the log
+// (recovery — acknowledged writes survive a crash because they were
+// fsync-durable before the ack), and is then ready to Start. Call
+// Snapshot for the index the paired QueryHandler should serve from.
+func NewUpdater(g *Graph, log *wal.Log, opts UpdaterOptions) (*Updater, error) {
+	if g == nil {
+		return nil, errors.New("reachlab: nil graph")
+	}
+	if log == nil {
+		return nil, errors.New("reachlab: nil wal")
+	}
+	every := opts.RefreshEvery
+	if every <= 0 {
+		every = DefaultRefreshEvery
+	}
+	batch := opts.RefreshBatch
+	if batch <= 0 {
+		batch = DefaultRefreshBatch
+	}
+	reg := opts.Obs
+	u := &Updater{
+		log:      log,
+		dyn:      tol.NewDynamic(g.d),
+		every:    every,
+		batch:    batch,
+		epochSeq: make(map[uint64]uint64),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+
+		walAppends:  reg.Counter("reachlab_wal_appends_total"),
+		refreshes:   reg.Counter("reachlab_refreshes_total"),
+		refreshHist: reg.Histogram("reachlab_refresh_seconds", obs.LatencyBuckets),
+		seqLag:      reg.Gauge("reachlab_update_seq_lag"),
+		epochLag:    reg.Gauge("reachlab_update_epoch_lag"),
+		staleness:   reg.Gauge("reachlab_update_staleness_ms"),
+		repairs:     reg.Counter("reachlab_dynamic_repairs_total"),
+		rebuilds:    reg.Counter("reachlab_dynamic_rebuilds_total"),
+	}
+	if err := u.replayAll(); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+// replayAll drives every durable log record into the maintainer —
+// the crash-recovery path: the served snapshot then reflects every
+// acknowledged write.
+func (u *Updater) replayAll() error {
+	err := u.log.Replay(0, func(r wal.Record) error { return u.applyRecord(r) })
+	if err != nil {
+		return fmt.Errorf("reachlab: wal replay: %w", err)
+	}
+	u.appliedSeq = u.log.LastSeq()
+	u.foldDynStats()
+	return nil
+}
+
+func (u *Updater) applyRecord(r wal.Record) error {
+	switch r.Op {
+	case wal.OpInsert:
+		return u.dyn.InsertEdge(r.U, r.V)
+	case wal.OpDelete:
+		return u.dyn.DeleteEdge(r.U, r.V)
+	}
+	return fmt.Errorf("reachlab: wal record %d: unknown op %d", r.Seq, byte(r.Op))
+}
+
+// foldDynStats turns the maintainer's cumulative repair/rebuild tally
+// into monotonic metric counters and the mu-guarded Stats view. Only
+// the refresher goroutine (or the constructor, before Start) calls
+// it — the maintainer itself is single-writer.
+func (u *Updater) foldDynStats() {
+	s := u.dyn.UpdateStats()
+	u.mu.Lock()
+	dr, db := s.Repairs-u.statRepairs, s.Rebuilds-u.statRebuild
+	u.statRepairs, u.statRebuild = s.Repairs, s.Rebuilds
+	u.mu.Unlock()
+	u.repairs.Add(dr)
+	u.rebuilds.Add(db)
+}
+
+// Snapshot freezes the maintainer's current labels — the index a
+// QueryHandler paired with this updater should be constructed with.
+func (u *Updater) Snapshot() *Index { return &Index{idx: u.dyn.Snapshot()} }
+
+// AppliedSeq returns the highest log sequence number reflected in the
+// published epoch.
+func (u *Updater) AppliedSeq() uint64 {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.appliedSeq
+}
+
+// EpochSeq reports the highest log sequence number contained in
+// epoch. The epoch the handler started serving at covers everything
+// replayed before Start; epochs swapped in by the refresher record
+// their batch cut. Unknown epochs (pre-start, or swapped by something
+// other than the updater) report ok == false.
+func (u *Updater) EpochSeq(epoch uint64) (seq uint64, ok bool) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	seq, ok = u.epochSeq[epoch]
+	return seq, ok
+}
+
+// Start binds the updater to h (recording h's current epoch as
+// containing everything applied so far) and launches the background
+// refresher. The handler's index must be the updater's Snapshot —
+// Start does not swap.
+func (u *Updater) Start(h *QueryHandler) {
+	u.mu.Lock()
+	u.h = h
+	u.epochSeq[h.Epoch()] = u.appliedSeq
+	u.mu.Unlock()
+	go u.run()
+}
+
+// Close stops the refresher (waiting for an in-flight refresh to
+// finish) and rejects further Apply calls. It does not close the log
+// — the caller owns that — and does not drain unapplied records:
+// they are durable and replay on restart.
+func (u *Updater) Close() {
+	u.mu.Lock()
+	if u.closed {
+		u.mu.Unlock()
+		return
+	}
+	u.closed = true
+	started := u.h != nil
+	u.mu.Unlock()
+	close(u.stop)
+	if started {
+		<-u.done
+	}
+}
+
+// Apply validates and durably logs one edge mutation, returning its
+// log sequence number and the exact epoch that will first serve it.
+// The write is fsync-durable when Apply returns — a crash after the
+// ack replays it — but not yet visible: visibility arrives when the
+// handler's epoch reaches the returned epoch.
+func (u *Updater) Apply(insert bool, a, b VertexID) (seq, epoch uint64, err error) {
+	if n := u.dyn.NumVertices(); int(a) >= n || a < 0 || int(b) >= n || b < 0 {
+		return 0, 0, fmt.Errorf("%w: edge (%d,%d) for %d vertices", ErrVertexRange, a, b, n)
+	}
+	op := wal.OpDelete
+	if insert {
+		op = wal.OpInsert
+	}
+	u.mu.Lock()
+	if u.closed {
+		u.mu.Unlock()
+		return 0, 0, ErrUpdaterClosed
+	}
+	u.mu.Unlock()
+	seq, err = u.log.Append(op, a, b)
+	if err != nil {
+		return 0, 0, fmt.Errorf("reachlab: wal append: %w", err)
+	}
+	u.walAppends.Inc()
+
+	// Promise the epoch that will first contain seq. base is the
+	// highest seq already spoken for (published, or cut by the
+	// in-flight refresh publishing as pub); every future refresh
+	// advances the frontier by at most RefreshBatch and by at least
+	// the full backlog-at-cut, so seq lands exactly
+	// ceil((seq-base)/RefreshBatch) swaps after base's epoch.
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	base := u.appliedSeq
+	pub := uint64(1)
+	if u.h != nil {
+		pub = u.h.Epoch()
+	}
+	if u.inflight {
+		base = u.cutSeq
+		pub++
+	}
+	epoch = pub
+	if seq > base {
+		epoch += (seq - base + uint64(u.batch) - 1) / uint64(u.batch)
+	}
+	if u.firstPend.IsZero() {
+		u.firstPend = time.Now()
+	}
+	return seq, epoch, nil
+}
+
+// run is the background refresher: every tick, drain up to one batch
+// of durable log records into the maintainer, freeze a snapshot, and
+// swap it in as the next epoch.
+func (u *Updater) run() {
+	defer close(u.done)
+	ticker := time.NewTicker(u.every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-u.stop:
+			return
+		case <-ticker.C:
+			u.refreshOnce()
+		}
+	}
+}
+
+// errBatchFull stops a replay cleanly once a refresh batch is cut.
+var errBatchFull = errors.New("batch full")
+
+// refreshOnce cuts the next contiguous batch from the log, applies it
+// to the maintainer, and swaps the frozen snapshot in. Runs on the
+// refresher goroutine only — the maintainer is single-writer.
+func (u *Updater) refreshOnce() {
+	start := time.Now()
+	u.mu.Lock()
+	from := u.appliedSeq
+	u.mu.Unlock()
+
+	var recs []wal.Record
+	err := u.log.Replay(from, func(r wal.Record) error {
+		recs = append(recs, r)
+		if len(recs) >= u.batch {
+			return errBatchFull
+		}
+		return nil
+	})
+	if err != nil && !errors.Is(err, errBatchFull) {
+		// A read error leaves the published epoch serving; the next
+		// tick retries from the same frontier.
+		u.seqLag.Set(int64(u.log.SyncedSeq() - from))
+		return
+	}
+	if len(recs) == 0 {
+		u.seqLag.Set(0)
+		u.epochLag.Set(0)
+		u.staleness.Set(0)
+		return
+	}
+	cut := recs[len(recs)-1].Seq
+
+	u.mu.Lock()
+	u.inflight = true
+	u.cutSeq = cut
+	u.mu.Unlock()
+
+	for _, r := range recs {
+		if err := u.applyRecord(r); err != nil {
+			// Only possible for an out-of-range vertex that slipped
+			// past Apply's validation (a foreign log). Skip: the
+			// record is a no-op on this graph.
+			continue
+		}
+	}
+	u.foldDynStats()
+	if u.testHookMidRefresh != nil {
+		u.testHookMidRefresh()
+	}
+	idx := &Index{idx: u.dyn.Snapshot()}
+
+	// Swap under mu so an Apply computing its promise never observes
+	// the new epoch with the old frontier (or vice versa). The swap
+	// itself is a pointer flip — queries never block on it.
+	u.mu.Lock()
+	epoch := u.h.Swap(idx)
+	u.appliedSeq = cut
+	u.inflight = false
+	u.epochSeq[epoch] = cut
+	pending := u.log.SyncedSeq() - cut
+	if pending == 0 {
+		u.firstPend = time.Time{}
+		u.staleness.Set(0)
+	} else {
+		// The oldest unapplied write is no older than this refresh's
+		// start; carry that bound until the backlog drains.
+		u.firstPend = start
+		u.staleness.Set(time.Since(start).Milliseconds())
+	}
+	u.seqLag.Set(int64(pending))
+	u.epochLag.Set(int64((pending + uint64(u.batch) - 1) / uint64(u.batch)))
+	u.nRefreshes++
+	u.mu.Unlock()
+
+	u.refreshes.Inc()
+	u.refreshHist.Observe(time.Since(start).Seconds())
+}
+
+// UpdateStats is one consistent view of the mutation path, served
+// under /stats as the "updates" block.
+type UpdaterStats struct {
+	LastSeq    uint64 `json:"last_seq"`    // highest acknowledged seq
+	SyncedSeq  uint64 `json:"synced_seq"`  // highest fsync-durable seq
+	AppliedSeq uint64 `json:"applied_seq"` // highest seq in the published epoch
+	SeqLag     uint64 `json:"seq_lag"`     // synced - applied
+	Refreshes  int64  `json:"refreshes"`
+	Repairs    int64  `json:"repairs"`
+	Rebuilds   int64  `json:"rebuilds"`
+}
+
+// Stats returns the updater's current counters. Repair/rebuild and
+// refresh tallies come from the updater's own bookkeeping (folded
+// under mu at each refresh), not the metrics registry, so they are
+// exact even with instrumentation disabled.
+func (u *Updater) Stats() UpdaterStats {
+	u.mu.Lock()
+	applied := u.appliedSeq
+	refreshes := u.nRefreshes
+	repairs, rebuilds := u.statRepairs, u.statRebuild
+	u.mu.Unlock()
+	synced := u.log.SyncedSeq()
+	return UpdaterStats{
+		LastSeq:    u.log.LastSeq(),
+		SyncedSeq:  synced,
+		AppliedSeq: applied,
+		SeqLag:     synced - applied,
+		Refreshes:  refreshes,
+		Repairs:    repairs,
+		Rebuilds:   rebuilds,
+	}
+}
+
+// EnableUpdates registers the mutation endpoint on h and routes its
+// /stats "updates" block to u. The handler must be serving u's
+// Snapshot and must not have a reload loader configured (the updater
+// owns all epoch advances); call before Start so no mutation can
+// race the binding.
+//
+//	POST /edges → {"op":"insert","u":3,"v":17}
+//	            ← {"op":"insert","u":3,"v":17,"seq":42,"epoch":7}
+func (h *QueryHandler) EnableUpdates(u *Updater) {
+	h.updater = u
+}
+
+type edgeRequest struct {
+	Op string `json:"op"`
+	U  int64  `json:"u"`
+	V  int64  `json:"v"`
+}
+
+type edgeResponse struct {
+	Op    string `json:"op"`
+	U     int64  `json:"u"`
+	V     int64  `json:"v"`
+	Seq   uint64 `json:"seq"`
+	Epoch uint64 `json:"epoch"`
+}
+
+// edges serves POST /edges: durably log one insert or delete and
+// acknowledge with its sequence number and the epoch that will first
+// contain it.
+func (h *QueryHandler) edges(w http.ResponseWriter, r *http.Request) {
+	h.obs.Counter(obs.Label("reachlab_http_requests_total", "handler", "edges")).Inc()
+	u := h.updater
+	if u == nil {
+		h.fail(w, "edges", "updates not enabled on this replica", http.StatusNotImplemented)
+		return
+	}
+	var req edgeRequest
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<16)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		h.fail(w, "edges", fmt.Sprintf("bad edge request: %v", err), http.StatusBadRequest)
+		return
+	}
+	var insert bool
+	switch req.Op {
+	case "insert":
+		insert = true
+	case "delete":
+	default:
+		h.fail(w, "edges", fmt.Sprintf("bad op %q: want insert or delete", req.Op), http.StatusBadRequest)
+		return
+	}
+	if req.U != int64(VertexID(req.U)) || req.V != int64(VertexID(req.V)) {
+		h.fail(w, "edges", fmt.Sprintf("vertex out of int32 range: [%d,%d]", req.U, req.V), http.StatusBadRequest)
+		return
+	}
+	seq, epoch, err := u.Apply(insert, VertexID(req.U), VertexID(req.V))
+	if err != nil {
+		code := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, ErrUpdaterClosed):
+			code = http.StatusServiceUnavailable
+		case errors.Is(err, ErrVertexRange):
+			code = http.StatusBadRequest
+		}
+		h.fail(w, "edges", err.Error(), code)
+		return
+	}
+	writeJSON(w, edgeResponse{Op: req.Op, U: req.U, V: req.V, Seq: seq, Epoch: epoch})
+}
