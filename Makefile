@@ -1,17 +1,18 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet lint invariants check check-full cover bench bench-smoke bench-compare loadtest load-compare fleettest updatetest update-compare tools examples experiments clean
+.PHONY: all build test vet lint lint-json invariants check check-full cover bench bench-smoke bench-compare loadtest load-compare fleettest updatetest update-compare tools examples experiments clean
 
 all: build vet test
 
-# What CI runs: vet, build, the project analyzers, the full test suite
-# under the race detector (the RPC fault-handling tests are
-# concurrency-heavy), and the suite again with runtime invariants
-# compiled in.
+# What CI runs: vet, build, the project analyzers (text + the JSON
+# artifact the lint job archives), the full test suite under the race
+# detector (the RPC fault-handling tests are concurrency-heavy), and
+# the suite again with runtime invariants compiled in.
 check:
 	go vet ./...
 	go build ./...
 	go run ./cmd/drlint ./...
+	$(MAKE) lint-json
 	go test -race ./...
 	go test -tags=invariants ./...
 
@@ -25,10 +26,20 @@ build:
 vet:
 	go vet ./...
 
-# Project-specific analyzers (internal/lint) guarding the determinism
-# contract: mapdet, lockheld, errsink, atomichygiene.
+# Project-specific analyzers (internal/lint): the determinism suite
+# (mapdet, lockheld, errsink, atomichygiene) plus the serving-tier
+# concurrency suite (copylocks, tornload, goleak, wgmisuse, ackorder).
+# `go vet` runs first as a stdlib cross-check (its copylocks overlaps
+# ours); drlint remains the gate with the //lint:ignore waiver
+# discipline.
 lint:
+	go vet ./...
 	go run ./cmd/drlint ./...
+
+# Machine-readable findings for CI artifact diffing: exits nonzero on
+# any non-waived finding, leaving drlint.json behind either way.
+lint-json:
+	go run ./cmd/drlint -json ./... > drlint.json
 
 # Full suite with the build-tagged runtime invariants compiled in.
 invariants:
@@ -112,4 +123,4 @@ experiments: tools
 	cd results && ./runall.sh
 
 clean:
-	rm -rf bin
+	rm -rf bin drlint.json

@@ -74,6 +74,7 @@ func main() {
 
 	reg := obs.Default
 	if *obsAddr != "" {
+		//lint:ignore goleak metrics sidecar serves for the process lifetime; the OS reclaims it at exit
 		go func() {
 			if err := http.ListenAndServe(*obsAddr, obs.Handler(reg)); err != nil {
 				fmt.Fprintln(os.Stderr, "drcluster: obs endpoint:", err)

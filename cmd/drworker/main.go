@@ -41,6 +41,7 @@ func main() {
 	var opts pregel.WorkerOptions
 	opts.Obs = obs.Default
 	if *obsAddr != "" {
+		//lint:ignore goleak metrics sidecar serves for the process lifetime; the OS reclaims it at exit
 		go func() {
 			if err := http.ListenAndServe(*obsAddr, obs.Handler(obs.Default)); err != nil {
 				fmt.Fprintln(os.Stderr, "drworker: obs endpoint:", err)

@@ -43,6 +43,7 @@ func main() {
 	addrs := make([]string, workers)
 	for i := 0; i < workers; i++ {
 		ready := make(chan string, 1)
+		//lint:ignore goleak example worker serves until the process exits; ready (sent inside the RPC server) is the only handshake
 		go func() {
 			if err := reachlab.ServeWorker("127.0.0.1:0", ready); err != nil {
 				log.Fatal(err)

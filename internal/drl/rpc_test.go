@@ -18,6 +18,7 @@ func startWorkers(t *testing.T, n int) []string {
 	addrs := make([]string, n)
 	for i := 0; i < n; i++ {
 		ready := make(chan string, 1)
+		//lint:ignore goleak test worker serves until the process exits; ready (sent inside pregel.ServeWorker) is the only handshake it needs
 		go func() {
 			if err := pregel.ServeWorker("127.0.0.1:0", ready); err != nil {
 				// The listener dies when the test process exits.

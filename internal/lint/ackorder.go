@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// AckOrder flags a durable-ack function that acknowledges before it
+// syncs: an HTTP response write or a channel send lexically reachable
+// before the first Sync()/Flush() in the same function. This is the
+// WAL contract (DESIGN.md §12): a mutation is acknowledged only after
+// fsync returns, so every acknowledged write survives a crash. An ack
+// that precedes the sync reverses that — a crash in the window loses
+// a write the client was told is durable.
+//
+// A function is in scope only when it has a sync point at all, found
+// either as a direct Sync/Flush method call or inside a same-package
+// callee (via the call-graph summaries). Error responses
+// (http.Error, fail/error-named helpers) are failure reports, not
+// acknowledgements, and are exempt. Ordering is lexical — a
+// documented approximation of the CFG that matches how these
+// functions are actually written (straight-line append → sync → ack).
+var AckOrder = &Analyzer{
+	Name: "ackorder",
+	Doc:  "HTTP response or channel ack reachable before the Sync/Flush in a durable-ack function",
+	Run:  runAckOrder,
+}
+
+func runAckOrder(pass *Pass) error {
+	idx := buildIndex(pass)
+	for _, f := range pass.Files {
+		funcScopes(f, func(body *ast.BlockStmt) {
+			checkAckOrder(pass, idx, body)
+		})
+	}
+	return nil
+}
+
+type ackEvent struct {
+	pos  token.Pos
+	desc string
+}
+
+func checkAckOrder(pass *Pass, idx *pkgIndex, body *ast.BlockStmt) {
+	firstSync := token.NoPos
+	var acks []ackEvent
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body {
+			return false // literals are separate scopes with their own discipline
+		}
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			acks = append(acks, ackEvent{x.Pos(), "channel send"})
+		case *ast.CallExpr:
+			if p := syncPoint(pass, idx, x); p.IsValid() && (!firstSync.IsValid() || p < firstSync) {
+				firstSync = p
+			}
+			if desc, ok := responseAck(pass, x); ok {
+				acks = append(acks, ackEvent{x.Pos(), desc})
+			}
+		}
+		return true
+	})
+	if !firstSync.IsValid() {
+		return // not a durable-ack function; ordinary sends and writes are fine
+	}
+	for _, a := range acks {
+		if a.pos < firstSync {
+			pass.Reportf(a.pos,
+				"%s before the first Sync/Flush (line %d): a crash in between loses a write the client was told is durable; sync first, then acknowledge",
+				a.desc, pass.Fset.Position(firstSync).Line)
+		}
+	}
+}
+
+// syncPoint returns the position of call when it is a sync point: a
+// direct Sync()/Flush() method call, or a same-package callee whose
+// summary syncs.
+func syncPoint(pass *Pass, idx *pkgIndex, call *ast.CallExpr) token.Pos {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && !isPackageQualifier(pass, sel.X) {
+		if sel.Sel.Name == "Sync" || sel.Sel.Name == "Flush" {
+			return call.Pos()
+		}
+	}
+	if fn := staticCallee(pass, call); fn != nil && fn.Pkg() == pass.Pkg {
+		if s := idx.summaries[fn]; s != nil && s.syncs {
+			return call.Pos()
+		}
+	}
+	return token.NoPos
+}
+
+// responseAck reports whether call acknowledges to a client: a
+// Write/WriteHeader on an http.ResponseWriter, or a call that hands a
+// ResponseWriter to a non-error helper (writeJSON and friends, found
+// by argument type so renamed helpers are still caught).
+func responseAck(pass *Pass, call *ast.CallExpr) (string, bool) {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if (sel.Sel.Name == "Write" || sel.Sel.Name == "WriteHeader") && isResponseWriter(pass.TypeOf(sel.X)) {
+			return "HTTP response " + sel.Sel.Name, true
+		}
+	}
+	if isErrorResponder(call) {
+		return "", false
+	}
+	for _, arg := range call.Args {
+		if isResponseWriter(pass.TypeOf(arg)) {
+			return "HTTP response via " + exprStringOr(call.Fun, "helper"), true
+		}
+	}
+	return "", false
+}
+
+// isErrorResponder matches failure-reporting helpers by name:
+// http.Error, h.fail, writeError, ... A failure report before the
+// sync is the correct order — nothing was promised durable.
+func isErrorResponder(call *ast.CallExpr) bool {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return false
+	}
+	lower := strings.ToLower(name)
+	return strings.Contains(lower, "error") || strings.Contains(lower, "fail")
+}

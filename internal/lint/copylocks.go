@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CopyLocks flags values containing a sync or sync/atomic type copied
+// by value: assignments, range clauses, and call arguments. A copied
+// Mutex guards nothing (the copy and the original lock
+// independently), a copied WaitGroup splits the counter, and a copied
+// atomic box forks the value the rest of the program is swapping.
+// This overlaps `go vet`'s copylocks on purpose — vet runs as a
+// cross-check in CI — but keeping the check in drlint means the
+// //lint:ignore waiver discipline and the JSON artifact cover it too.
+//
+// Composite literals and function results are not flagged: the former
+// construct a fresh value, the latter are already a copy made by the
+// callee. Returns are out of scope (the three shapes named by the
+// hazard class are assignment, range, and argument pass).
+var CopyLocks = &Analyzer{
+	Name: "copylocks",
+	Doc:  "struct containing a sync.Mutex/WaitGroup (or atomic box) copied by value",
+	Run:  runCopyLocks,
+}
+
+func runCopyLocks(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				if len(x.Lhs) != len(x.Rhs) {
+					return true // multi-value call/receive: results are not copies of a guarded original
+				}
+				for i, rhs := range x.Rhs {
+					if id, ok := x.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						continue
+					}
+					if lock := copiedLock(pass, rhs); lock != "" {
+						pass.Reportf(rhs.Pos(),
+							"assignment copies %s (in %s): the copy's lock state diverges from the original; use a pointer", lock, exprStringOr(rhs, "the value"))
+					}
+				}
+			case *ast.ValueSpec:
+				for i, v := range x.Values {
+					if i < len(x.Names) && x.Names[i].Name == "_" {
+						continue
+					}
+					if lock := copiedLock(pass, v); lock != "" {
+						pass.Reportf(v.Pos(),
+							"assignment copies %s (in %s): the copy's lock state diverges from the original; use a pointer", lock, exprStringOr(v, "the value"))
+					}
+				}
+			case *ast.RangeStmt:
+				if x.Value == nil {
+					return true
+				}
+				if id, ok := x.Value.(*ast.Ident); ok && id.Name == "_" {
+					return true
+				}
+				if lock := lockInType(pass.TypeOf(x.Value)); lock != "" {
+					pass.Reportf(x.Value.Pos(),
+						"range clause copies %s out of %s each iteration: lock the elements through a pointer or index instead", lock, exprStringOr(x.X, "the collection"))
+				}
+			case *ast.CallExpr:
+				if id, ok := x.Fun.(*ast.Ident); ok {
+					if _, isBuiltin := pass.ObjectOf(id).(*types.Builtin); isBuiltin {
+						return true // len/cap/... do not copy their operand
+					}
+				}
+				for _, arg := range x.Args {
+					if lock := copiedLock(pass, arg); lock != "" {
+						pass.Reportf(arg.Pos(),
+							"argument %s passes %s by value to %s: the callee locks a private copy; pass a pointer", exprStringOr(arg, "value"), lock, exprStringOr(x.Fun, "the callee"))
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// copiedLock reports the lock type inside e's type when evaluating e
+// as a value copies an existing guarded object — an identifier,
+// selector, index, or dereference. Fresh values (composite literals,
+// call results) return "".
+func copiedLock(pass *Pass, e ast.Expr) string {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return lockInType(pass.TypeOf(e))
+	}
+	return ""
+}
+
+// lockInType returns the name of the first sync/sync-atomic type
+// found by value inside t ("sync.Mutex", "sync/atomic.Pointer",
+// ...), or "". Pointers, slices, maps, channels, interfaces, and
+// funcs are not traversed: sharing through them is the correct
+// pattern, not a copy.
+func lockInType(t types.Type) string {
+	return lockInTypeRec(t, map[types.Type]bool{})
+}
+
+func lockInTypeRec(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if n, ok := t.(*types.Named); ok {
+		obj := n.Obj()
+		if obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sync":
+				switch obj.Name() {
+				case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Map", "Pool":
+					return "sync." + obj.Name()
+				}
+			case "sync/atomic":
+				if _, isIface := n.Underlying().(*types.Interface); !isIface {
+					return "sync/atomic." + obj.Name()
+				}
+			}
+		}
+		return lockInTypeRec(n.Underlying(), seen)
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if lock := lockInTypeRec(u.Field(i).Type(), seen); lock != "" {
+				return lock
+			}
+		}
+	case *types.Array:
+		return lockInTypeRec(u.Elem(), seen)
+	}
+	return ""
+}

@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// GoLeak flags a `go` statement whose goroutine has no join path: no
+// WaitGroup.Done, no channel operation a spawner could observe, no
+// select, no close. Such a goroutine can outlive its spawner
+// silently — the Updater-refresher / server-drain hazard class: a
+// background loop that keeps mutating state after Close() returned,
+// or a worker that holds a connection past shutdown.
+//
+// The check is deliberately conservative. A goroutine running a
+// function literal is judged by the literal's body plus its
+// same-package callees (via the package call graph); a goroutine
+// running a declared same-package function is judged by that
+// function's transitive summary. Cross-package, interface, and
+// func-value targets are unknowable without their source, so they are
+// skipped, not flagged.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "goroutine with no join path (no WaitGroup.Done, channel op, select, or close)",
+	Run:  runGoLeak,
+}
+
+func runGoLeak(pass *Pass) error {
+	idx := buildIndex(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			switch fun := g.Call.Fun.(type) {
+			case *ast.FuncLit:
+				if goroutineJoins(pass, idx, fun.Body) {
+					return true
+				}
+			default:
+				fn := staticCallee(pass, g.Call)
+				if fn == nil || fn.Pkg() != pass.Pkg {
+					return true // unknown target: give it the benefit of the doubt
+				}
+				s := idx.summaries[fn]
+				if s == nil || s.joins {
+					return true
+				}
+			}
+			pass.Reportf(g.Pos(),
+				"goroutine has no join path (no WaitGroup.Done, channel operation, select, or close reachable from its body): it can outlive its spawner; hand it a WaitGroup, a stop channel, or a context")
+			return true
+		})
+	}
+	return nil
+}
+
+// goroutineJoins reports whether a goroutine running body can reach a
+// join point, either directly or through a same-package callee.
+func goroutineJoins(pass *Pass, idx *pkgIndex, body *ast.BlockStmt) bool {
+	if directFacts(pass, body).joins {
+		return true
+	}
+	for _, fn := range samePkgCallees(pass, body) {
+		if s := idx.summaries[fn]; s != nil && s.joins {
+			return true
+		}
+	}
+	return false
+}

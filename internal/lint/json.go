@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+)
+
+// JSONDiagnostic is the machine-readable form of a finding, emitted
+// by `drlint -json` and archived as a CI build artifact. Paths are
+// module-root-relative with forward slashes so two runs of the same
+// tree — different checkouts, different operating systems — produce
+// byte-identical artifacts that diff cleanly.
+type JSONDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// JSONDiagnostics converts findings to their artifact form, making
+// filenames relative to root. Files outside root (never the case for
+// module findings) keep their absolute path rather than inventing a
+// ../ escape.
+func JSONDiagnostics(root string, diags []Diagnostic) []JSONDiagnostic {
+	out := make([]JSONDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+		out = append(out, JSONDiagnostic{
+			File:     filepath.ToSlash(file),
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	return out
+}
+
+// MarshalJSONDiagnostics renders the artifact: an indented JSON array,
+// `[]` (never `null`) when there are no findings, with a trailing
+// newline so the file is a well-formed text file.
+func MarshalJSONDiagnostics(root string, diags []Diagnostic) ([]byte, error) {
+	data, err := json.MarshalIndent(JSONDiagnostics(root, diags), "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

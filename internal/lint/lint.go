@@ -88,9 +88,15 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
 	return nil
 }
 
-// All returns the catalogue of project analyzers in a stable order.
+// All returns the catalogue of project analyzers in a stable order:
+// the four determinism analyzers from the build tier, then the five
+// concurrency-correctness analyzers guarding the serving/updating
+// tier (DESIGN.md §13).
 func All() []*Analyzer {
-	return []*Analyzer{MapDet, LockHeld, ErrSink, AtomicHygiene}
+	return []*Analyzer{
+		MapDet, LockHeld, ErrSink, AtomicHygiene,
+		CopyLocks, TornLoad, GoLeak, WGMisuse, AckOrder,
+	}
 }
 
 // ByName resolves analyzer names; the empty list means All.

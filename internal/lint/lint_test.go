@@ -1,7 +1,9 @@
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
+	"go/token"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -22,6 +24,11 @@ func TestMapDetGolden(t *testing.T)        { runGolden(t, MapDet, "mapdet") }
 func TestLockHeldGolden(t *testing.T)      { runGolden(t, LockHeld, "lockheld") }
 func TestErrSinkGolden(t *testing.T)       { runGolden(t, ErrSink, "errsink") }
 func TestAtomicHygieneGolden(t *testing.T) { runGolden(t, AtomicHygiene, "atomichygiene") }
+func TestCopyLocksGolden(t *testing.T)     { runGolden(t, CopyLocks, "copylocks") }
+func TestTornLoadGolden(t *testing.T)      { runGolden(t, TornLoad, "tornload") }
+func TestGoLeakGolden(t *testing.T)        { runGolden(t, GoLeak, "goleak") }
+func TestWGMisuseGolden(t *testing.T)      { runGolden(t, WGMisuse, "wgmisuse") }
+func TestAckOrderGolden(t *testing.T)      { runGolden(t, AckOrder, "ackorder") }
 
 func runGolden(t *testing.T, a *Analyzer, fixture string) {
 	t.Helper()
@@ -60,27 +67,107 @@ func runGolden(t *testing.T, a *Analyzer, fixture string) {
 
 // TestSuppressions checks the //lint:ignore machinery end to end on
 // the suppress fixture: the documented waiver silences its finding,
-// the reason-less directive is itself reported and silences nothing.
+// the reason-less directive is itself reported and silences nothing,
+// and a waiver naming a different analyzer (errsink, in scoped) does
+// not touch mapdet's finding on the same line.
 func TestSuppressions(t *testing.T) {
 	pkg := loadFixture(t, "suppress")
 	diags, err := RunAnalyzers(pkg, []*Analyzer{MapDet})
 	if err != nil {
 		t.Fatalf("RunAnalyzers: %v", err)
 	}
-	if len(diags) != 2 {
-		t.Fatalf("got %d diagnostics, want 2:\n%s", len(diags), renderDiags(diags))
+	if len(diags) != 3 {
+		t.Fatalf("got %d diagnostics, want 3:\n%s", len(diags), renderDiags(diags))
 	}
-	var haveMalformed, haveMapdet bool
+	var haveMalformed bool
+	mapdet := 0
 	for _, d := range diags {
 		switch {
 		case d.Analyzer == "drlint" && strings.Contains(d.Message, "malformed"):
 			haveMalformed = true
 		case d.Analyzer == "mapdet":
-			haveMapdet = true
+			mapdet++
 		}
 	}
-	if !haveMalformed || !haveMapdet {
-		t.Fatalf("want one malformed-directive finding and one surviving mapdet finding, got:\n%s", renderDiags(diags))
+	if !haveMalformed || mapdet != 2 {
+		t.Fatalf("want one malformed-directive finding and two surviving mapdet findings (bad and scoped), got:\n%s", renderDiags(diags))
+	}
+}
+
+// TestSuppressionScoping is the regression for per-analyzer waiver
+// scope: the scoped fixture line triggers both mapdet and errsink,
+// and its //lint:ignore names only errsink. The errsink finding must
+// vanish while the mapdet finding on the very same line survives.
+func TestSuppressionScoping(t *testing.T) {
+	pkg := loadFixture(t, "suppress")
+	diags, err := RunAnalyzers(pkg, []*Analyzer{MapDet, ErrSink})
+	if err != nil {
+		t.Fatalf("RunAnalyzers: %v", err)
+	}
+	var mapdetLine, errsinkLine int
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "e.Encode") {
+			continue
+		}
+		switch d.Analyzer {
+		case "mapdet":
+			mapdetLine = d.Pos.Line
+		case "errsink":
+			errsinkLine = d.Pos.Line
+		}
+	}
+	if mapdetLine == 0 {
+		t.Errorf("mapdet finding on the scoped e.Encode line was muted by an errsink-only waiver:\n%s", renderDiags(diags))
+	}
+	if errsinkLine != 0 {
+		t.Errorf("errsink finding at line %d survived its own waiver:\n%s", errsinkLine, renderDiags(diags))
+	}
+}
+
+// TestJSONDiagnostics covers the -json artifact contract: paths come
+// out module-root-relative with forward slashes, fields round-trip
+// through encoding/json, and an empty run marshals as [] rather than
+// null so artifact diffs stay well-formed.
+func TestJSONDiagnostics(t *testing.T) {
+	diags := []Diagnostic{
+		{
+			Pos:      token.Position{Filename: filepath.Join("/mod", "internal", "wal", "wal.go"), Line: 42, Column: 7},
+			Analyzer: "ackorder",
+			Message:  "ack before sync",
+		},
+		{
+			Pos:      token.Position{Filename: "/elsewhere/out.go", Line: 1, Column: 1},
+			Analyzer: "mapdet",
+			Message:  "outside the module",
+		},
+	}
+	data, err := MarshalJSONDiagnostics("/mod", diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []JSONDiagnostic
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("artifact does not round-trip: %v\n%s", err, data)
+	}
+	want := []JSONDiagnostic{
+		{File: "internal/wal/wal.go", Line: 42, Col: 7, Analyzer: "ackorder", Message: "ack before sync"},
+		{File: "/elsewhere/out.go", Line: 1, Col: 1, Analyzer: "mapdet", Message: "outside the module"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d entries, want %d:\n%s", len(got), len(want), data)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("entry %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	empty, err := MarshalJSONDiagnostics("/mod", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(empty)) != "[]" {
+		t.Errorf("empty run marshals as %q, want []", empty)
 	}
 }
 

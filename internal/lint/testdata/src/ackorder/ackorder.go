@@ -1,0 +1,92 @@
+// Package ackorder exercises the durable-ack analyzer: in a function
+// that syncs a writer, no acknowledgement (channel send or HTTP
+// response) may precede the first Sync/Flush — a crash in the window
+// loses a write the client was told is durable.
+package ackorder
+
+import (
+	"net/http"
+	"os"
+)
+
+type record struct{ seq uint64 }
+
+// ackThenSync acknowledges before fsync: the classic WAL inversion.
+func ackThenSync(f *os.File, acks chan<- uint64, r record) error {
+	acks <- r.seq // want "channel send before the first Sync/Flush"
+	if _, err := f.Write([]byte{1}); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// syncThenAck is the WAL discipline: durable first, visible second.
+func syncThenAck(f *os.File, acks chan<- uint64, r record) error {
+	if _, err := f.Write([]byte{1}); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	acks <- r.seq
+	return nil
+}
+
+// respondEarly sends the HTTP 200 before the log hits disk.
+func respondEarly(w http.ResponseWriter, f *os.File) {
+	w.WriteHeader(http.StatusOK) // want "HTTP response WriteHeader before the first Sync/Flush"
+	if err := f.Sync(); err != nil {
+		return
+	}
+}
+
+// respondAfter syncs first; the failure branch answers early, which
+// is correct — http.Error reports, it does not acknowledge.
+func respondAfter(w http.ResponseWriter, f *os.File) {
+	if err := f.Sync(); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// earlyFailure rejects bad input before ever touching the log: error
+// responses are exempt wherever they appear.
+func earlyFailure(w http.ResponseWriter, f *os.File, bad bool) {
+	if bad {
+		http.Error(w, "bad request", http.StatusBadRequest)
+		return
+	}
+	if err := f.Sync(); err != nil {
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// viaHelper: the sync hides inside a same-package callee; the early
+// ack is still caught through its summary.
+func viaHelper(f *os.File, acks chan<- uint64, r record) error {
+	acks <- r.seq // want "channel send before the first Sync/Flush"
+	return persist(f)
+}
+
+func persist(f *os.File) error { return f.Sync() }
+
+// helperResponse: handing the ResponseWriter to a non-error helper
+// before the sync is an ack too, caught by argument type.
+func helperResponse(w http.ResponseWriter, f *os.File) {
+	writeDoc(w) // want "HTTP response via writeDoc before the first Sync/Flush"
+	if err := f.Sync(); err != nil {
+		return
+	}
+}
+
+func writeDoc(w http.ResponseWriter) {
+	_, _ = w.Write([]byte("{}"))
+}
+
+// noSyncNoGate: a function without a sync point is not a durable-ack
+// function; its sends are ordinary coordination.
+func noSyncNoGate(acks chan<- uint64, r record) {
+	acks <- r.seq
+}

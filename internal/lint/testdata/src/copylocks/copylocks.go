@@ -1,0 +1,100 @@
+// Package copylocks exercises the lock-copy analyzer: a value
+// containing a sync or sync/atomic type must move by pointer — a
+// copied mutex guards nothing, a copied WaitGroup splits its counter,
+// a copied atomic box forks the value being swapped.
+package copylocks
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+var global guarded
+
+var snapshot = global // want "assignment copies sync.Mutex"
+
+// assign copies the struct and the mutex inside it.
+func assign() int {
+	cp := global // want "assignment copies sync.Mutex"
+	return cp.n
+}
+
+// deref copies through a pointer: still a copy.
+func deref(p *guarded) int {
+	cp := *p // want "assignment copies sync.Mutex"
+	return cp.n
+}
+
+// pointerCopy shares the guarded value: the correct pattern.
+func pointerCopy(p *guarded) *guarded {
+	q := p
+	return q
+}
+
+// fresh constructs a new value; composite literals are not copies of
+// a guarded original.
+func fresh() int {
+	g := guarded{n: 1}
+	return g.n
+}
+
+func use(g guarded) int { return g.n }
+
+// passByValue hands the lock to a callee by value.
+func passByValue() int {
+	return use(global) // want "passes sync.Mutex by value"
+}
+
+func usePtr(g *guarded) int { return g.n }
+
+// passByPointer shares it instead.
+func passByPointer() int {
+	return usePtr(&global)
+}
+
+// ranger copies each element out of the slice, mutex included.
+func ranger(gs []guarded) int {
+	total := 0
+	for _, g := range gs { // want "range clause copies sync.Mutex"
+		total += g.n
+	}
+	return total
+}
+
+// rangeByIndex reaches the elements in place.
+func rangeByIndex(gs []guarded) int {
+	total := 0
+	for i := range gs {
+		total += gs[i].n
+	}
+	return total
+}
+
+type wrapper struct{ inner guarded }
+
+// nested locks are found through any depth of embedding.
+func nested(w *wrapper) int {
+	cp := *w // want "assignment copies sync.Mutex"
+	return cp.inner.n
+}
+
+func consume(wg sync.WaitGroup) {}
+
+// splitCounter copies a WaitGroup into a callee: Done on the copy
+// never releases the original's Wait.
+func splitCounter(wg *sync.WaitGroup) {
+	consume(*wg) // want "passes sync.WaitGroup by value"
+}
+
+type epochBox struct{ e atomic.Uint64 }
+
+// atomicCopy forks the box the rest of the program is updating.
+func atomicCopy(b *epochBox) uint64 {
+	cp := *b // want "assignment copies sync/atomic.Uint64"
+	return cp.e.Load()
+}

@@ -1,0 +1,103 @@
+// Package goleak exercises the goroutine-leak analyzer: a `go`
+// statement needs some join path — WaitGroup.Done, a channel
+// operation, a select, or a close — or the goroutine can outlive its
+// spawner undetected.
+package goleak
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// leak spawns a goroutine nothing ever joins.
+func leak() {
+	go func() { // want "no join path"
+		work()
+	}()
+}
+
+// joined hands the goroutine a WaitGroup.
+func joined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// signaled sends a result the spawner receives.
+func signaled() int {
+	done := make(chan int, 1)
+	go func() { done <- 1 }()
+	return <-done
+}
+
+// stopped selects on a context's Done channel.
+func stopped(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// closer signals completion by closing a channel.
+func closer() chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	return done
+}
+
+// runner's join point lives in the callee, found through the
+// same-package call graph.
+func runner(stop chan struct{}) {
+	go loop(stop)
+}
+
+func loop(stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+			work()
+		}
+	}
+}
+
+// viaHelper reaches the join through a helper called from the
+// literal's body.
+func viaHelper(stop chan struct{}) {
+	go func() {
+		loop(stop)
+	}()
+}
+
+// leakyCallee: the same-package callee has no join path either.
+func leakyCallee() {
+	go spin() // want "no join path"
+}
+
+func spin() {
+	for {
+		work()
+	}
+}
+
+// dynamic runs a func value: the target is unknowable, so the
+// analyzer stays quiet rather than guessing.
+func dynamic(f func()) {
+	go f()
+}

@@ -24,3 +24,17 @@ func bad(m map[int]int, wk w) {
 		wk.Send(k)
 	}
 }
+
+type enc struct{}
+
+func (enc) Encode(v int) error { return nil }
+
+// scoped: one line triggers two analyzers (mapdet and errsink); the
+// waiver names only errsink, so the mapdet finding must survive.
+// Checked in TestSuppressionScoping.
+func scoped(m map[int]int, e enc) {
+	for k := range m {
+		//lint:ignore errsink fixture discards the encode error on purpose
+		e.Encode(k)
+	}
+}

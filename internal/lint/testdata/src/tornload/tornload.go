@@ -1,0 +1,70 @@
+// Package tornload exercises the torn-snapshot analyzer: two
+// observations of the same atomic box in one function — directly or
+// through a same-package helper — straddle an epoch swap.
+package tornload
+
+import "sync/atomic"
+
+type state struct{ epoch uint64 }
+
+type handler struct {
+	state atomic.Pointer[state]
+	other atomic.Pointer[state]
+}
+
+// twoDirect loads the same field twice: the two epochs can differ.
+func (h *handler) twoDirect() uint64 {
+	a := h.state.Load().epoch
+	b := h.state.Load().epoch // want "second load of the same atomic value"
+	return a + b
+}
+
+// once is the blessed pattern: one snapshot, passed down.
+func (h *handler) once() uint64 {
+	st := h.state.Load()
+	return st.epoch + use(st)
+}
+
+func use(st *state) uint64 { return st.epoch }
+
+// distinctFields reads two different atomics: no shared box, no tear.
+func (h *handler) distinctFields() uint64 {
+	return h.state.Load().epoch + h.other.Load().epoch
+}
+
+// epoch is a helper whose single load is fine on its own.
+func (h *handler) epoch() uint64 { return h.state.Load().epoch }
+
+// viaCall holds a direct snapshot and then calls a helper that loads
+// again — found through the call-graph summary.
+func (h *handler) viaCall() uint64 {
+	st := h.state.Load()
+	return st.epoch + h.epoch() // want "second load of the same atomic value"
+}
+
+// helpersOnly samples twice through helpers with no direct load: each
+// call took its own consistent snapshot, so nothing is torn.
+func (h *handler) helpersOnly() uint64 { return h.epoch() + h.epoch() }
+
+// twoReceivers loads the same field of two different handlers: the
+// receiver chains differ, so the events are not merged.
+func twoReceivers(a, b *handler) uint64 {
+	return a.state.Load().epoch + b.state.Load().epoch
+}
+
+// litScope: the literal is its own scope with its own snapshot; the
+// outer load does not pair with it.
+func (h *handler) litScope() func() uint64 {
+	st := h.state.Load()
+	_ = st
+	return func() uint64 { return h.state.Load().epoch }
+}
+
+type box struct{ v atomic.Value }
+
+// valueTorn: atomic.Value is the same hazard as atomic.Pointer.
+func (b *box) valueTorn() (any, any) {
+	x := b.v.Load()
+	y := b.v.Load() // want "second load of the same atomic value"
+	return x, y
+}

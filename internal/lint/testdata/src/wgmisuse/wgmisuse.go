@@ -1,0 +1,83 @@
+// Package wgmisuse exercises the WaitGroup-misuse analyzer: Add must
+// happen in the spawner before the go statement, never inside the
+// goroutine it accounts for.
+package wgmisuse
+
+import "sync"
+
+func work() {}
+
+// addInside: the spawner can reach Wait before the goroutine has run
+// Add, so Wait returns with the work still in flight.
+func addInside() {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1) // want "Add inside the spawned goroutine"
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// doneWithoutAdd: Done fires with no Add anywhere before the go
+// statement — the counter goes negative and panics.
+func doneWithoutAdd() {
+	var wg sync.WaitGroup
+	go func() {
+		defer wg.Done() // want "no matching wg.Add before the go statement"
+		work()
+	}()
+	wg.Wait()
+}
+
+// good is the canonical shape: Add in the spawner, Done in the
+// goroutine.
+func good() {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// ownWg: a goroutine may manage a WaitGroup it declares itself; only
+// WaitGroups shared with the spawner are in scope.
+func ownWg() {
+	done := make(chan struct{})
+	go func() {
+		var inner sync.WaitGroup
+		inner.Add(1)
+		go func() {
+			defer inner.Done()
+			work()
+		}()
+		inner.Wait()
+		close(done)
+	}()
+	<-done
+}
+
+type pool struct{ wg sync.WaitGroup }
+
+// fieldWg: a struct-field WaitGroup may be Add-ed far away (Start
+// adds, the run loop Dones), so the Done check is out of scope.
+func (p *pool) fieldWg() {
+	go func() {
+		defer p.wg.Done()
+		work()
+	}()
+}
+
+// fieldAddInside: Add inside the goroutine is wrong regardless of
+// where the WaitGroup lives.
+func (p *pool) fieldAddInside() {
+	go func() {
+		p.wg.Add(1) // want "Add inside the spawned goroutine"
+		defer p.wg.Done()
+		work()
+	}()
+}

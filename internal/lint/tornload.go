@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// TornLoad flags a function that observes the same atomic.Pointer or
+// atomic.Value twice — two direct .Load() calls, or a direct load
+// plus a same-package call that loads it again (found through the
+// package call graph). The serving tier's whole consistency story is
+// that one serveState{idx, cache, epoch} snapshot is loaded once and
+// passed down; a second load can straddle an epoch swap and hand the
+// caller a torn view (index from epoch N, cache or counters from
+// N+1).
+//
+// Functions whose repeated observations are all indirect (two
+// Epoch() calls, say) are not flagged: each helper took its own
+// consistent snapshot, and the caller merely sampled twice. The
+// hazard needs at least one direct load whose value the function is
+// still holding when the second observation happens.
+var TornLoad = &Analyzer{
+	Name: "tornload",
+	Doc:  "same atomic.Pointer/Value loaded twice in one function (torn snapshot)",
+	Run:  runTornLoad,
+}
+
+// loadEvent is one observation of an atomic box within a function
+// scope.
+type loadEvent struct {
+	pos    token.Pos
+	direct bool
+	desc   string // "h.state.Load()" or "h.CacheStats()"
+}
+
+func runTornLoad(pass *Pass) error {
+	idx := buildIndex(pass)
+	for _, f := range pass.Files {
+		funcScopes(f, func(body *ast.BlockStmt) {
+			checkTornLoads(pass, idx, body)
+		})
+	}
+	return nil
+}
+
+// checkTornLoads analyzes one function scope. Nested function
+// literals are masked — they are their own scopes with their own
+// snapshots and get visited separately by funcScopes.
+func checkTornLoads(pass *Pass, idx *pkgIndex, body *ast.BlockStmt) {
+	type key struct {
+		obj  any    // the atomic variable or field object
+		base string // receiver chain, so a.state and b.state stay apart
+	}
+	events := map[key][]loadEvent{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if obj := atomicLoadTarget(pass, call); obj != nil {
+			sel := call.Fun.(*ast.SelectorExpr) // atomicLoadTarget guarantees the shape
+			base := ""
+			if inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
+				base = exprString(inner.X)
+			}
+			events[key{obj, base}] = append(events[key{obj, base}], loadEvent{
+				pos:    call.Pos(),
+				direct: true,
+				desc:   exprStringOr(sel.X, obj.Name()) + ".Load()",
+			})
+			return true
+		}
+		// An indirect observation: a same-package callee whose summary
+		// says it loads the box. The receiver chain keys the group, so
+		// h.CacheStats() collides with h.state.Load() but not with
+		// other.CacheStats().
+		if fn := staticCallee(pass, call); fn != nil && fn.Pkg() == pass.Pkg {
+			if s := idx.summaries[fn]; s != nil {
+				base := receiverBase(call)
+				for obj := range s.loads {
+					events[key{obj, base}] = append(events[key{obj, base}], loadEvent{
+						pos:  call.Pos(),
+						desc: exprStringOr(call.Fun, fn.Name()) + "()",
+					})
+				}
+			}
+		}
+		return true
+	})
+	for _, evs := range events {
+		if len(evs) < 2 {
+			continue
+		}
+		anyDirect := false
+		for _, e := range evs {
+			anyDirect = anyDirect || e.direct
+		}
+		if !anyDirect {
+			continue
+		}
+		sort.Slice(evs, func(i, j int) bool { return evs[i].pos < evs[j].pos })
+		first, second := evs[0], evs[1]
+		pass.Reportf(second.pos,
+			"second load of the same atomic value in one function (%s here, %s at line %d): an epoch swap between the loads yields a torn snapshot; load once and pass the value down",
+			second.desc, first.desc, pass.Fset.Position(first.pos).Line)
+	}
+	// The map above is keyed per atomic box; iteration order only
+	// affects the order findings are appended, and RunAnalyzers sorts
+	// all diagnostics by position before anything is printed.
+}

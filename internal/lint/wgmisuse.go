@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WGMisuse flags the two sync.WaitGroup patterns that race the
+// spawner's Wait:
+//
+//  1. wg.Add inside the spawned goroutine — the spawner can reach
+//     Wait before the goroutine has run Add, so Wait returns with the
+//     work still in flight.
+//  2. wg.Done in a spawned goroutine with no wg.Add before the `go`
+//     statement in the same function — the counter can go negative
+//     (panic) or, with Adds elsewhere, release someone else's Wait.
+//
+// Check 2 only applies to WaitGroups declared as locals of the
+// spawning function: a struct-field WaitGroup may legitimately be
+// Add-ed far away (Start adds, the run loop Dones), which is exactly
+// the updater's shape, and lexical analysis cannot see that pairing.
+var WGMisuse = &Analyzer{
+	Name: "wgmisuse",
+	Doc:  "WaitGroup.Add inside the spawned goroutine, or Done without a prior Add",
+	Run:  runWGMisuse,
+}
+
+func runWGMisuse(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := g.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			checkSpawnedLit(pass, f, g, lit)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkSpawnedLit(pass *Pass, f *ast.File, g *ast.GoStmt, lit *ast.FuncLit) {
+	enclosing := enclosingFuncBody(f, g.Pos())
+	// addedInside tracks WaitGroups the goroutine itself Adds to, so
+	// check 2 does not re-flag the same root cause.
+	addedInside := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.FuncLit); ok && inner != lit {
+			return false // nested spawns are judged at their own go statement
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj, name := waitGroupMethod(pass, call)
+		if obj == nil {
+			return true
+		}
+		switch name {
+		case "Add":
+			if declaredWithin(obj, lit) {
+				return true // the goroutine's own WaitGroup, for its own spawns
+			}
+			addedInside[obj] = true
+			pass.Reportf(call.Pos(),
+				"%s.Add inside the spawned goroutine: the spawner can reach Wait before Add runs; call Add before the go statement", obj.Name())
+		case "Done":
+			if addedInside[obj] || declaredWithin(obj, lit) {
+				return true
+			}
+			v, isVar := obj.(*types.Var)
+			if !isVar || v.IsField() || enclosing == nil || !declaredWithin(obj, enclosing) {
+				return true // non-local WaitGroup: the Add may live elsewhere
+			}
+			if hasAddBefore(pass, enclosing, obj, g) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"%s.Done with no matching %s.Add before the go statement: the counter can go negative or release another Wait early", obj.Name(), obj.Name())
+		}
+		return true
+	})
+}
+
+// waitGroupMethod matches wg.Add / wg.Done calls on a sync.WaitGroup
+// and returns the object of the receiver's final identifier.
+func waitGroupMethod(pass *Pass, call *ast.CallExpr) (types.Object, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Add" && sel.Sel.Name != "Done") {
+		return nil, ""
+	}
+	if !namedOrPtrTo(pass.TypeOf(sel.X), "sync", "WaitGroup") {
+		return nil, ""
+	}
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.Ident:
+		return pass.ObjectOf(x), sel.Sel.Name
+	case *ast.SelectorExpr:
+		return pass.ObjectOf(x.Sel), sel.Sel.Name
+	}
+	return nil, ""
+}
+
+// hasAddBefore reports whether body contains an Add on obj lexically
+// before the go statement (loops make "before" approximate, but an
+// Add anywhere earlier in the function is the pattern being checked
+// for).
+func hasAddBefore(pass *Pass, body *ast.BlockStmt, obj types.Object, g *ast.GoStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if call.Pos() >= g.Pos() {
+			return true
+		}
+		o, name := waitGroupMethod(pass, call)
+		if name == "Add" && o == obj {
+			found = true
+		}
+		return true
+	})
+	return found
+}

@@ -268,7 +268,15 @@ func (h *QueryHandler) Index() *Index { return h.state.Load().idx }
 // counts, summed across every epoch served so far (zeros when the
 // cache is disabled).
 func (h *QueryHandler) CacheStats() (hits, misses int64) {
-	st := h.state.Load()
+	return h.cacheTotals(h.state.Load())
+}
+
+// cacheTotals sums the lifetime cache counters for one state
+// snapshot: the serving cache's live counts plus the totals folded in
+// from retired epochs. Callers that already hold a snapshot must use
+// this rather than CacheStats, which takes a fresh one — mixing two
+// snapshots in one report tears across an epoch swap.
+func (h *QueryHandler) cacheTotals(st *serveState) (hits, misses int64) {
 	return h.retiredHits.Load() + st.cache.Hits(), h.retiredMisses.Load() + st.cache.Misses()
 }
 
@@ -461,7 +469,10 @@ func (h *QueryHandler) stats(w http.ResponseWriter, _ *http.Request) {
 	stSrv := h.state.Load()
 	st := stSrv.idx.Stats()
 	bs := stSrv.idx.BuildStats()
-	hits, misses := h.CacheStats()
+	// One snapshot for the whole document: CacheStats would load the
+	// state a second time, and a reload between the two loads would
+	// report epoch N's capacity with epoch N+1's hit counts.
+	hits, misses := h.cacheTotals(stSrv)
 	doc := map[string]any{
 		"vertices": stSrv.idx.NumVertices(),
 		// Epoch bookkeeping: index_epoch advances by one per reload,

@@ -127,6 +127,7 @@ func TestStatsExposeFaultCounters(t *testing.T) {
 	var addrs []string
 	for i := 0; i < 2; i++ {
 		ready := make(chan string, 1)
+		//lint:ignore goleak test worker serves until the process exits; ready (sent inside pregel.ServeWorker) is the only handshake it needs
 		go func() {
 			if err := ServeWorker("127.0.0.1:0", ready); err != nil {
 				t.Log(err)
