@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet lint lint-json invariants check check-full cover bench bench-smoke bench-compare loadtest load-compare fleettest updatetest update-compare tools examples experiments clean
+.PHONY: all build test vet lint lint-json invariants check check-full cover bench bench-smoke bench-compare loadtest load-compare fleettest updatetest update-compare scale-smoke tools examples experiments clean
 
 all: build vet test
 
@@ -83,6 +83,14 @@ loadtest:
 # answer.
 fleettest:
 	./scripts/fleet_smoke.sh
+
+# End-to-end scale-path smoke: generate a ~1.2M-edge graph streamed
+# and in-RAM (binary v2 files byte-identical via cmp), label it from a
+# copy load and an mmap load (index files byte-identical via cmp),
+# then run drbench -exp scale twice and gate every deterministic
+# output with benchcompare (CI's scale-smoke job). No timings gated.
+scale-smoke:
+	./scripts/scale_smoke.sh
 
 # End-to-end update smoke: drserve in update mode (-graph/-wal) —
 # POST /edges point checks with epoch-acknowledged reads, a drload

@@ -21,6 +21,15 @@
 // to catch gross serving regressions (an accidentally quadratic merge,
 // a lost cache), not single-digit jitter. drload writes records in
 // this shape (see Makefile loadtest).
+//
+// Records written by drbench -exp scale are detected automatically and
+// compared field by field instead: every structural output of the
+// build path (edge count, file bytes, index entries/bytes, max label,
+// overflow counts) is fully determined by the generator parameters and
+// the code, so it must match EXACTLY — no tolerance. Phase timings are
+// printed side by side but never gated (medians over a noisy host).
+// Both records must come from the same parameters; comparing different
+// configurations is a usage error, not a regression.
 package main
 
 import (
@@ -48,6 +57,28 @@ func main() {
 	newRec, err := load(flag.Arg(1))
 	if err != nil {
 		fatal(err)
+	}
+
+	// Scale records carry no per-dataset builds; diff them with the
+	// dedicated exact-match comparator and skip the message table.
+	if oldRec.Scale != nil || newRec.Scale != nil {
+		if oldRec.Scale == nil || newRec.Scale == nil {
+			fmt.Fprintln(os.Stderr, "benchcompare: only one record is a scale record; compare like with like")
+			os.Exit(2)
+		}
+		regressions, err := compareScale(oldRec.Scale, newRec.Scale)
+		if err != nil {
+			fatal(err)
+		}
+		if len(regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "\nbenchcompare: %d scale regression(s):\n", len(regressions))
+			for _, r := range regressions {
+				fmt.Fprintln(os.Stderr, "  "+r)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("\nbenchcompare: scale outputs identical")
+		return
 	}
 
 	oldBuilds := index(oldRec)
@@ -138,6 +169,51 @@ func compareQueries(oldBuilds map[key]bench.BuildRecord, newRec *bench.RunRecord
 		}
 	}
 	return regressions
+}
+
+// compareScale diffs two drbench -exp scale records. The structural
+// outputs are deterministic functions of the parameters, so they are
+// gated exactly; phase timings are shown for context only. A parameter
+// mismatch is an error (incomparable records), not a regression.
+func compareScale(o, n *bench.ScaleRecord) ([]string, error) {
+	if o.Family != n.Family || o.N != n.N || o.AvgDegree != n.AvgDegree ||
+		o.Seed != n.Seed || o.Budget != n.Budget {
+		return nil, fmt.Errorf(
+			"scale parameters differ (old %s n=%d deg=%g seed=%d budget=%d, new %s n=%d deg=%g seed=%d budget=%d); records are not comparable",
+			o.Family, o.N, o.AvgDegree, o.Seed, o.Budget,
+			n.Family, n.N, n.AvgDegree, n.Seed, n.Budget)
+	}
+	fmt.Printf("scale %s n=%d deg=%g seed=%d budget=%d\n", n.Family, n.N, n.AvgDegree, n.Seed, n.Budget)
+	var regressions []string
+	fmt.Printf("%-16s %14s %14s\n", "FIELD", "OLD", "NEW")
+	gate := func(name string, ov, nv int64) {
+		fmt.Printf("%-16s %14d %14d\n", name, ov, nv)
+		if ov != nv {
+			regressions = append(regressions, fmt.Sprintf("%s changed %d -> %d", name, ov, nv))
+		}
+	}
+	gate("edges", o.Edges, n.Edges)
+	gate("file_bytes", o.FileBytes, n.FileBytes)
+	gate("index_entries", o.IndexEntries, n.IndexEntries)
+	gate("index_bytes", o.IndexBytes, n.IndexBytes)
+	gate("max_label", int64(o.MaxLabel), int64(n.MaxLabel))
+	gate("overflowed_in", int64(o.OverflowedIn), int64(n.OverflowedIn))
+	gate("overflowed_out", int64(o.OverflowedOut), int64(n.OverflowedOut))
+
+	oldPhases := map[string]bench.ScalePhase{}
+	for _, ph := range o.Phases {
+		oldPhases[ph.Phase] = ph
+	}
+	fmt.Printf("\n%-16s %12s %12s %8s   (informational)\n", "PHASE", "MED(old)", "MED(new)", "Δ%")
+	for _, nph := range n.Phases {
+		oph, ok := oldPhases[nph.Phase]
+		if !ok {
+			continue
+		}
+		fmt.Printf("%-16s %12.3f %12.3f %7.1f%%\n",
+			nph.Phase, oph.MedianSeconds, nph.MedianSeconds, pctF(oph.MedianSeconds, nph.MedianSeconds))
+	}
+	return regressions, nil
 }
 
 type key struct{ dataset, algo string }

@@ -11,6 +11,12 @@
 // Experiments: table5, table6, fig5, fig6, fig7, fig8, fig9, all.
 // Suites: tiny, medium, large, all (see internal/bench).
 //
+// -exp scale instead measures the single-machine 10⁸-edge build path
+// (parallel CSR build, streamed build, binary v2 save, copy load,
+// mmap load, budgeted labeling) on one generated graph:
+//
+//	drbench -exp scale -scale-n 10000000 -scale-budget 32 -runs 5 -json
+//
 // -json additionally runs a profiling pass (TOL, DRL_b^M, DRL, DRL_b
 // per dataset) and writes a machine-readable
 // BENCH_<exp>-<suite>-p<P>-<unix>.json record with build times,
@@ -30,7 +36,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "table6", "experiment: table5, table6, fig5, fig6, fig7, fig8, fig9, ablation-order, ablation-condense, all")
+		exp     = flag.String("exp", "table6", "experiment: table5, table6, fig5, fig6, fig7, fig8, fig9, ablation-order, ablation-condense, scale, all")
 		suite   = flag.String("suite", "medium", "dataset suite: tiny, medium, large, all")
 		workers = flag.Int("workers", 8, "simulated computation nodes P")
 		cutoff  = flag.Duration("cutoff", 60*time.Second, "per-build cut-off (0 = none); timed-out builds print INF")
@@ -39,8 +45,45 @@ func main() {
 		quiet   = flag.Bool("q", false, "suppress progress lines")
 		asJSON  = flag.Bool("json", false, "also write a machine-readable BENCH_*.json record")
 		jsonDir = flag.String("json-dir", ".", "directory for BENCH_*.json records")
+
+		scaleFamily = flag.String("scale-family", "citation", "scale experiment: generator family")
+		scaleN      = flag.Int("scale-n", 1_000_000, "scale experiment: vertex count")
+		scaleDeg    = flag.Float64("scale-deg", 4, "scale experiment: target average out-degree")
+		scaleSeed   = flag.Int64("scale-seed", 1, "scale experiment: generator seed")
+		scaleBudget = flag.Int("scale-budget", 32, "scale experiment: label budget (0 skips labeling)")
+		runs        = flag.Int("runs", 5, "scale experiment: timing repetitions per build/IO phase (median reported)")
 	)
 	flag.Parse()
+
+	progressEarly := func(line string) { fmt.Fprintln(os.Stderr, line) }
+	if *quiet {
+		progressEarly = nil
+	}
+
+	// The scale experiment measures one parameterized build, not the
+	// dataset suites, so it short-circuits the suite plumbing.
+	if *exp == "scale" {
+		fmt.Printf("\n===== scale (family %s, n=%d, deg=%.1f, budget=%d, runs=%d) =====\n",
+			*scaleFamily, *scaleN, *scaleDeg, *scaleBudget, *runs)
+		rec, err := bench.RunScale(bench.ScaleParams{
+			Family:    *scaleFamily,
+			N:         *scaleN,
+			AvgDegree: *scaleDeg,
+			Seed:      *scaleSeed,
+			Budget:    *scaleBudget,
+			Runs:      *runs,
+		}, progressEarly)
+		if err != nil {
+			fatal(err)
+		}
+		bench.PrintScale(os.Stdout, rec)
+		if *asJSON {
+			if err := writeScaleRecord(rec, *jsonDir); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
 
 	ds, err := bench.Suite(*suite)
 	if err != nil {
@@ -160,6 +203,34 @@ func writeRecord(r *bench.Runner, ds []bench.Dataset, exp, suite, dir string, pr
 		Datasets:   recs,
 	}
 	name := fmt.Sprintf("%s/BENCH_%s-%s-p%d-%d.json", dir, exp, suite, r.Workers, now)
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", name)
+	return nil
+}
+
+// writeScaleRecord serializes a scale run to
+// BENCH_scale-<family>-n<N>-b<budget>-<unix>.json under dir.
+func writeScaleRecord(sc *bench.ScaleRecord, dir string) error {
+	now := time.Now().Unix()
+	rec := bench.RunRecord{
+		Experiment: "scale",
+		Suite:      sc.Family,
+		UnixTime:   now,
+		Scale:      sc,
+	}
+	name := fmt.Sprintf("%s/BENCH_scale-%s-n%d-b%d-%d.json", dir, sc.Family, sc.N, sc.Budget, now)
 	f, err := os.Create(name)
 	if err != nil {
 		return err

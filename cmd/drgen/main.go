@@ -27,6 +27,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "generator seed")
 		out     = flag.String("o", "", "output path (required)")
 		text    = flag.Bool("text", false, "write a text edge list instead of the binary format")
+		stream  = flag.Bool("stream", false, "build the CSR by streaming the generator twice instead of materializing the edge slice (lower peak memory, identical output)")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -41,7 +42,11 @@ func main() {
 		}
 		params = d.Params
 	}
-	g, err := gen.Generate(params)
+	generate := gen.Generate
+	if *stream {
+		generate = gen.GenerateStreamed
+	}
+	g, err := generate(params)
 	if err != nil {
 		fatal(err)
 	}

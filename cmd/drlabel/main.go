@@ -30,13 +30,24 @@ func main() {
 		k       = flag.Float64("k", 2, "DRL_b batch increment factor")
 		latency = flag.Duration("latency", 0, "simulated network latency per superstep (0 = off)")
 		timeout = flag.Duration("timeout", 0, "abort the build after this long (0 = none)")
+		mmap    = flag.Bool("mmap", false, "memory-map the input (binary v2 files only) instead of reading it into RAM")
 	)
 	flag.Parse()
 	if *in == "" || *out == "" {
 		fatal(fmt.Errorf("both -i and -o are required"))
 	}
 
-	g, err := reachlab.LoadGraph(*in)
+	var g *reachlab.Graph
+	var err error
+	if *mmap {
+		var unmap func() error
+		g, unmap, err = reachlab.MapGraph(*in)
+		if err == nil {
+			defer unmap()
+		}
+	} else {
+		g, err = reachlab.LoadGraph(*in)
+	}
 	if err != nil {
 		fatal(err)
 	}

@@ -30,6 +30,15 @@
 //	curl -d '{"op":"insert","u":3,"v":17}' 'localhost:8080/edges'
 //	# → {"op":"insert","u":3,"v":17,"seq":1,"epoch":2}
 //
+// Budgeted mode serves graphs whose full index would not fit in
+// memory: -graph + -budget builds a memory-bounded index (at most
+// -budget label entries per vertex per direction; overflowing queries
+// fall back to a label-pruned BFS) and serves it statically. Add
+// -mmap to page the graph's adjacency from a binary v2 file on
+// demand instead of loading it:
+//
+//	drserve -graph big.bin -mmap -budget 32
+//
 // Observability (see DESIGN.md §7):
 //
 //	curl 'localhost:8080/metrics'                          # Prometheus text
@@ -65,6 +74,9 @@ func main() {
 		walPath      = flag.String("wal", "", "write-ahead edge log path (update mode; created if missing, replayed if present)")
 		refreshEvery = flag.Duration("refresh-every", reachlab.DefaultRefreshEvery, "update mode: interval between refresh swaps")
 		refreshBatch = flag.Int("refresh-batch", reachlab.DefaultRefreshBatch, "update mode: max log records applied per refresh swap")
+
+		budget   = flag.Int("budget", 0, "with -graph and no -wal: build a memory-bounded index capped at this many label entries per vertex per direction and serve it")
+		mmapFlag = flag.Bool("mmap", false, "budgeted mode: memory-map the graph (binary v2 files only) instead of reading it into RAM")
 	)
 	flag.Parse()
 
@@ -74,9 +86,44 @@ func main() {
 		edgeLog *wal.Log
 	)
 	switch {
+	case *graphPath != "" && *budget > 0:
+		// Budgeted static mode: build a memory-bounded index over the
+		// graph and serve it. The graph stays resident (the fallback
+		// query path walks it), so -mmap lets the kernel page its
+		// adjacency in and out instead of committing RAM up front.
+		if *walPath != "" {
+			fatal(fmt.Errorf("-budget serves a static bounded index; it cannot be combined with -wal update mode"))
+		}
+		if *idxPath != "" {
+			fatal(fmt.Errorf("-budget builds its index from -graph; it cannot be combined with -idx"))
+		}
+		var g *reachlab.Graph
+		var err error
+		if *mmapFlag {
+			g, _, err = reachlab.MapGraph(*graphPath)
+		} else {
+			g, err = reachlab.LoadGraph(*graphPath)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		idx, err := reachlab.Build(context.Background(), g, reachlab.Options{LabelBudget: *budget})
+		if err != nil {
+			fatal(err)
+		}
+		st := idx.Stats()
+		fmt.Printf("serving %d vertices with label budget %d (%.2f MB labels, %d/%d vertices overflowed in/out) on %s\n",
+			idx.NumVertices(), st.LabelBudget, float64(st.Bytes)/(1<<20), st.OverflowedIn, st.OverflowedOut, *listen)
+		handler = reachlab.NewQueryHandlerOpts(idx, reachlab.ServeOptions{
+			Obs:         reachlab.DefaultMetrics(),
+			CachePairs:  *cache,
+			CacheShards: *shards,
+			MaxBatch:    *maxBatch,
+		})
+
 	case *graphPath != "":
 		if *walPath == "" {
-			fatal(fmt.Errorf("-graph requires -wal"))
+			fatal(fmt.Errorf("-graph requires -wal (or -budget for the static memory-bounded mode)"))
 		}
 		if *idxPath != "" {
 			fatal(fmt.Errorf("-graph and -idx are mutually exclusive (update mode serves the maintained snapshot)"))

@@ -58,6 +58,21 @@ func SaveGraph(path string, g *Graph, binary bool) error {
 	return graph.SaveFile(path, g.d, binary)
 }
 
+// MapGraph memory-maps a binary graph file (the v2 format written by
+// SaveGraph and cmd/drgen) and serves its CSR arrays zero-copy out of
+// the page cache — the loading path for graphs near physical memory.
+// The returned close function unmaps the file; the graph (and any
+// index built from it that retains it) must not be used afterwards.
+// On platforms without mmap the graph is read into memory and close
+// is a no-op.
+func MapGraph(path string) (*Graph, func() error, error) {
+	m, err := graph.MapFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Graph{d: m.Digraph}, m.Close, nil
+}
+
 // NumVertices returns the number of vertices.
 func (g *Graph) NumVertices() int { return g.d.NumVertices() }
 
@@ -87,6 +102,24 @@ func (g *Graph) Stats() string {
 // (RMAT). Deterministic in (family, n, avgDegree, seed).
 func GenerateGraph(family string, n int, avgDegree float64, seed int64) (*Graph, error) {
 	d, err := gen.Generate(gen.Params{
+		Family:    gen.Family(family),
+		N:         n,
+		AvgDegree: avgDegree,
+		Seed:      seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("reachlab: %w", err)
+	}
+	return &Graph{d: d}, nil
+}
+
+// GenerateGraphStreamed is GenerateGraph without the intermediate
+// edge slice: the generator streams its edges twice (count pass,
+// placement pass) and peak memory is the finished CSR plus the
+// generator's attachment pools. The result is byte-identical to
+// GenerateGraph with the same parameters.
+func GenerateGraphStreamed(family string, n int, avgDegree float64, seed int64) (*Graph, error) {
+	d, err := gen.GenerateStreamed(gen.Params{
 		Family:    gen.Family(family),
 		N:         n,
 		AvgDegree: avgDegree,

@@ -193,3 +193,27 @@ func PrintFig9(w io.Writer, rows []Fig9Row) {
 	}
 	flushTab(tw)
 }
+
+// PrintScale renders one scale-experiment record: the deterministic
+// build outputs first (what benchcompare gates), then the per-phase
+// median timings.
+func PrintScale(w io.Writer, rec *ScaleRecord) {
+	fmt.Fprintf(w, "family=%s n=%d deg=%.1f seed=%d budget=%d runs=%d\n",
+		rec.Family, rec.N, rec.AvgDegree, rec.Seed, rec.Budget, rec.Runs)
+	fmt.Fprintf(w, "edges=%d file_bytes=%d", rec.Edges, rec.FileBytes)
+	if rec.Budget > 0 {
+		fmt.Fprintf(w, " index_entries=%d index_bytes=%d max_label=%d overflowed_in=%d overflowed_out=%d",
+			rec.IndexEntries, rec.IndexBytes, rec.MaxLabel, rec.OverflowedIn, rec.OverflowedOut)
+	}
+	fmt.Fprintln(w)
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Phase\tMedian(s)\tRuns(s)")
+	for _, ph := range rec.Phases {
+		runs := make([]string, len(ph.RunSeconds))
+		for i, s := range ph.RunSeconds {
+			runs[i] = fmt.Sprintf("%.3f", s)
+		}
+		fmt.Fprintf(tw, "%s\t%.3f\t%s\n", ph.Phase, ph.MedianSeconds, strings.Join(runs, " "))
+	}
+	flushTab(tw)
+}

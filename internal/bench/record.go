@@ -20,6 +20,9 @@ type RunRecord struct {
 	Queries    int             `json:"queries"`
 	UnixTime   int64           `json:"unix_time,omitempty"`
 	Datasets   []DatasetRecord `json:"datasets"`
+	// Scale is set by drbench -exp scale runs (one build-path
+	// measurement instead of per-dataset algorithm profiles).
+	Scale *ScaleRecord `json:"scale,omitempty"`
 }
 
 // DatasetRecord collects the per-algorithm measurements of one graph.

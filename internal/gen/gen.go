@@ -18,6 +18,14 @@
 //	Synthetic  RMAT/Kronecker as in Graph500
 //
 // Every generator is deterministic in (parameters, seed).
+//
+// Generators are written in emit style: each produces its edge stream
+// through a callback, holding only its preferential-attachment pools
+// (4 bytes per edge for the copying models, less for the rest) instead
+// of the full edge slice. Edges collects the stream into a slice;
+// Stream exposes it replayably so graph.FromEdgeStream can build the
+// CSR without the slice ever existing — the generate-and-label path
+// for graphs that stress one machine's memory.
 package gen
 
 import (
@@ -56,11 +64,12 @@ type Params struct {
 	Seed int64
 }
 
-// Edges generates the edge stream for p. The stream order matters:
-// the scalability experiment (Fig. 7) takes prefixes of it.
-func Edges(p Params) ([]graph.Edge, error) {
+// EmitEdges streams the edge sequence of p to emit, in generation
+// order — exactly the sequence Edges returns as a slice. An error
+// from emit aborts generation and is returned unchanged.
+func EmitEdges(p Params, emit func(graph.Edge) error) error {
 	if p.N <= 0 {
-		return nil, fmt.Errorf("gen: vertex count %d must be positive", p.N)
+		return fmt.Errorf("gen: vertex count %d must be positive", p.N)
 	}
 	if p.AvgDegree <= 0 {
 		p.AvgDegree = 4
@@ -68,23 +77,45 @@ func Edges(p Params) ([]graph.Edge, error) {
 	rng := rand.New(rand.NewSource(p.Seed))
 	switch p.Family {
 	case Web:
-		return webEdges(p.N, p.AvgDegree, rng), nil
+		return webEdges(p.N, p.AvgDegree, rng, emit)
 	case Citation:
-		return citationEdges(p.N, p.AvgDegree, rng), nil
+		return citationEdges(p.N, p.AvgDegree, rng, emit)
 	case Social:
-		return socialEdges(p.N, p.AvgDegree, rng), nil
+		return socialEdges(p.N, p.AvgDegree, rng, emit)
 	case Knowledge:
-		return knowledgeEdges(p.N, p.AvgDegree, rng), nil
+		return knowledgeEdges(p.N, p.AvgDegree, rng, emit)
 	case Biology:
-		return biologyEdges(p.N, p.AvgDegree, rng), nil
+		return biologyEdges(p.N, p.AvgDegree, rng, emit)
 	case Synthetic:
-		return rmatEdges(p.N, p.AvgDegree, rng), nil
+		return rmatEdges(p.N, p.AvgDegree, rng, emit)
 	default:
-		return nil, fmt.Errorf("gen: unknown family %q", p.Family)
+		return fmt.Errorf("gen: unknown family %q", p.Family)
 	}
 }
 
-// Generate builds the graph for p.
+// Edges generates the edge stream for p as a slice. The stream order
+// matters: the scalability experiment (Fig. 7) takes prefixes of it.
+func Edges(p Params) ([]graph.Edge, error) {
+	var edges []graph.Edge
+	if err := EmitEdges(p, func(e graph.Edge) error {
+		edges = append(edges, e)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return edges, nil
+}
+
+// Stream returns the replayable edge stream of p: every invocation
+// regenerates the identical sequence from the seed, which is what
+// graph.FromEdgeStream's two passes need.
+func Stream(p Params) graph.EdgeStreamFunc {
+	return func(emit func(graph.Edge) error) error {
+		return EmitEdges(p, emit)
+	}
+}
+
+// Generate builds the graph for p through the in-memory edge slice.
 func Generate(p Params) (*graph.Digraph, error) {
 	edges, err := Edges(p)
 	if err != nil {
@@ -93,38 +124,59 @@ func Generate(p Params) (*graph.Digraph, error) {
 	return graph.FromEdges(p.N, edges), nil
 }
 
+// GenerateStreamed builds the graph for p without materializing the
+// edge slice: the generator runs twice (count pass, placement pass)
+// and the peak footprint is the CSR plus the generator's pools. The
+// result is byte-identical to Generate.
+func GenerateStreamed(p Params) (*graph.Digraph, error) {
+	if p.N <= 0 {
+		return nil, fmt.Errorf("gen: vertex count %d must be positive", p.N)
+	}
+	return graph.FromEdgeStream(p.N, Stream(p))
+}
+
 // webEdges: linear-growth copying model. Each new page links to a few
 // targets, copying the out-links of a random earlier page with
 // probability copyP (produces hub pages and skewed in-degrees); with
 // probability backP a target links back (intra-site navigation),
-// forming medium-size cycles.
-func webEdges(n int, avg float64, rng *rand.Rand) []graph.Edge {
+// forming medium-size cycles. The target pool stands in for the edge
+// history: entry i is the target of the i-th emitted edge, so sampling
+// it consumes the rng exactly as indexing the edge slice used to.
+func webEdges(n int, avg float64, rng *rand.Rand, emit func(graph.Edge) error) error {
 	const copyP, backP = 0.55, 0.12
 	perVertex := int(avg + 0.5)
 	if perVertex < 1 {
 		perVertex = 1
 	}
-	var edges []graph.Edge
+	var targets []graph.VertexID
+	put := func(u, v int) error {
+		targets = append(targets, graph.VertexID(v))
+		return emit(graph.Edge{U: graph.VertexID(u), V: graph.VertexID(v)})
+	}
 	for v := 1; v < n; v++ {
 		for j := 0; j < perVertex; j++ {
 			var t int
-			if rng.Float64() < copyP && len(edges) > 0 {
+			if rng.Float64() < copyP && len(targets) > 0 {
 				// Copy a random existing link's target: preferential
 				// attachment by in-degree.
-				t = int(edges[rng.Intn(len(edges))].V)
+				t = int(targets[rng.Intn(len(targets))])
 			} else {
 				t = rng.Intn(v)
 			}
 			if t == v {
 				continue
 			}
-			edges = append(edges, graph.Edge{U: graph.VertexID(v), V: graph.VertexID(t)})
+			if err := put(v, t); err != nil {
+				return err
+			}
 			if rng.Float64() < backP {
-				edges = append(edges, graph.Edge{U: graph.VertexID(t), V: graph.VertexID(v)})
+				if err := put(t, v); err != nil {
+					return err
+				}
 			}
 		}
 	}
-	return edges
+	return nil
 }
 
 // citationEdges: edges strictly from newer to older vertices — a DAG,
@@ -132,7 +184,7 @@ func webEdges(n int, avg float64, rng *rand.Rand) []graph.Edge {
 // attachment (landmark papers dominate, which is what keeps 2-hop
 // labels small on real citation graphs) with recency (papers mostly
 // cite the recent literature).
-func citationEdges(n int, avg float64, rng *rand.Rand) []graph.Edge {
+func citationEdges(n int, avg float64, rng *rand.Rand, emit func(graph.Edge) error) error {
 	perVertex := int(avg + 0.5)
 	if perVertex < 1 {
 		perVertex = 1
@@ -146,7 +198,6 @@ func citationEdges(n int, avg float64, rng *rand.Rand) []graph.Edge {
 	perCat := make([][]int32, numCats)   // older papers per area
 	catCited := make([][]int32, numCats) // citation targets per area (preferential pool)
 	var allCited []int32                 // global preferential pool
-	var edges []graph.Edge
 	for v := 0; v < n; v++ {
 		c := rng.Intn(numCats)
 		for j := 0; j < perVertex; j++ {
@@ -163,53 +214,67 @@ func citationEdges(n int, avg float64, rng *rand.Rand) []graph.Edge {
 			if t < 0 || int(t) >= v { // keep the DAG invariant
 				continue
 			}
-			edges = append(edges, graph.Edge{U: graph.VertexID(v), V: graph.VertexID(t)})
+			if err := emit(graph.Edge{U: graph.VertexID(v), V: graph.VertexID(t)}); err != nil {
+				return err
+			}
 			catCited[c] = append(catCited[c], t)
 			allCited = append(allCited, t)
 		}
 		perCat[c] = append(perCat[c], int32(v))
 	}
-	return edges
+	return nil
 }
 
 // socialEdges: directed preferential attachment with reciprocation,
 // yielding a giant SCC and heavy-tailed degrees (Twitter/Sina-weibo
-// regime).
-func socialEdges(n int, avg float64, rng *rand.Rand) []graph.Edge {
+// regime). The target pool replaces the edge history as in webEdges.
+func socialEdges(n int, avg float64, rng *rand.Rand, emit func(graph.Edge) error) error {
 	const reciprocateP = 0.3
 	perVertex := int(avg + 0.5)
 	if perVertex < 1 {
 		perVertex = 1
 	}
-	var edges []graph.Edge
+	var targets []graph.VertexID
+	put := func(u, v int) error {
+		targets = append(targets, graph.VertexID(v))
+		return emit(graph.Edge{U: graph.VertexID(u), V: graph.VertexID(v)})
+	}
 	for v := 1; v < n; v++ {
 		for j := 0; j < perVertex; j++ {
 			var t int
-			if rng.Float64() < 0.7 && len(edges) > 0 {
-				t = int(edges[rng.Intn(len(edges))].V)
+			if rng.Float64() < 0.7 && len(targets) > 0 {
+				t = int(targets[rng.Intn(len(targets))])
 			} else {
 				t = rng.Intn(v)
 			}
 			if t == v {
 				continue
 			}
-			edges = append(edges, graph.Edge{U: graph.VertexID(v), V: graph.VertexID(t)})
+			if err := put(v, t); err != nil {
+				return err
+			}
 			if rng.Float64() < reciprocateP {
-				edges = append(edges, graph.Edge{U: graph.VertexID(t), V: graph.VertexID(v)})
+				if err := put(t, v); err != nil {
+					return err
+				}
 			}
 		}
 	}
-	return edges
+	return nil
 }
 
 // knowledgeEdges: a shallow forest backbone (instance→class edges)
 // plus sparse cross references — the DBpedia regime: low degrees,
 // mostly acyclic, many tiny components reaching a small core.
-func knowledgeEdges(n int, avg float64, rng *rand.Rand) []graph.Edge {
-	var edges []graph.Edge
+func knowledgeEdges(n int, avg float64, rng *rand.Rand, emit func(graph.Edge) error) error {
 	core := n / 50
 	if core < 1 {
 		core = 1
+	}
+	emitted := 0
+	put := func(u, v int) error {
+		emitted++
+		return emit(graph.Edge{U: graph.VertexID(u), V: graph.VertexID(v)})
 	}
 	for v := core; v < n; v++ {
 		// Parent link into the earlier part of the graph, biased to
@@ -220,12 +285,14 @@ func knowledgeEdges(n int, avg float64, rng *rand.Rand) []graph.Edge {
 		} else {
 			t = rng.Intn(v)
 		}
-		edges = append(edges, graph.Edge{U: graph.VertexID(v), V: graph.VertexID(t)})
+		if err := put(v, t); err != nil {
+			return err
+		}
 	}
 	// Cross references: mostly toward earlier (more general) entities
 	// so the graph stays largely acyclic with only small local cycles,
 	// the DBpedia regime.
-	extra := int(float64(n)*avg) - len(edges)
+	extra := int(float64(n)*avg) - emitted
 	for i := 0; i < extra; i++ {
 		u := rng.Intn(n)
 		t := rng.Intn(n)
@@ -235,20 +302,24 @@ func knowledgeEdges(n int, avg float64, rng *rand.Rand) []graph.Edge {
 		if t > u {
 			u, t = t, u
 		}
-		edges = append(edges, graph.Edge{U: graph.VertexID(u), V: graph.VertexID(t)})
+		if err := put(u, t); err != nil {
+			return err
+		}
 		// A sprinkle of reciprocal links (redirect pairs, see-also
 		// loops) keeps the family non-acyclic without a giant SCC.
 		if rng.Float64() < 0.01 {
-			edges = append(edges, graph.Edge{U: graph.VertexID(t), V: graph.VertexID(u)})
+			if err := put(t, u); err != nil {
+				return err
+			}
 		}
 	}
-	return edges
+	return nil
 }
 
 // biologyEdges: a layered ontology DAG in the Go-uniprot style —
 // annotation vertices point into a term hierarchy that narrows toward
 // a handful of roots.
-func biologyEdges(n int, avg float64, rng *rand.Rand) []graph.Edge {
+func biologyEdges(n int, avg float64, rng *rand.Rand, emit func(graph.Edge) error) error {
 	// The first tenth of the vertices form the term hierarchy; the
 	// rest are annotations pointing into it.
 	terms := n / 10
@@ -258,13 +329,14 @@ func biologyEdges(n int, avg float64, rng *rand.Rand) []graph.Edge {
 	if terms > n {
 		terms = n
 	}
-	var edges []graph.Edge
 	for v := 1; v < terms; v++ {
 		// is-a edges toward lower-numbered (more general) terms.
 		parents := 1 + rng.Intn(2)
 		for j := 0; j < parents; j++ {
 			t := rng.Intn(v)
-			edges = append(edges, graph.Edge{U: graph.VertexID(v), V: graph.VertexID(t)})
+			if err := emit(graph.Edge{U: graph.VertexID(v), V: graph.VertexID(t)}); err != nil {
+				return err
+			}
 		}
 	}
 	perAnnot := int(avg + 0.5)
@@ -274,15 +346,17 @@ func biologyEdges(n int, avg float64, rng *rand.Rand) []graph.Edge {
 	for v := terms; v < n; v++ {
 		for j := 0; j < perAnnot; j++ {
 			t := rng.Intn(terms)
-			edges = append(edges, graph.Edge{U: graph.VertexID(v), V: graph.VertexID(t)})
+			if err := emit(graph.Edge{U: graph.VertexID(v), V: graph.VertexID(t)}); err != nil {
+				return err
+			}
 		}
 	}
-	return edges
+	return nil
 }
 
 // rmatEdges: the Graph500 RMAT/Kronecker generator with the standard
 // (0.57, 0.19, 0.19, 0.05) partition probabilities.
-func rmatEdges(n int, avg float64, rng *rand.Rand) []graph.Edge {
+func rmatEdges(n int, avg float64, rng *rand.Rand, emit func(graph.Edge) error) error {
 	// Round n up to a power of two for the recursive partition, then
 	// fold overflowing IDs back into range.
 	scale := 0
@@ -291,7 +365,6 @@ func rmatEdges(n int, avg float64, rng *rand.Rand) []graph.Edge {
 	}
 	m := int(float64(n) * avg)
 	const a, b, c = 0.57, 0.19, 0.19
-	edges := make([]graph.Edge, 0, m)
 	for i := 0; i < m; i++ {
 		u, v := 0, 0
 		for bit := 0; bit < scale; bit++ {
@@ -310,7 +383,9 @@ func rmatEdges(n int, avg float64, rng *rand.Rand) []graph.Edge {
 		}
 		u %= n
 		v %= n
-		edges = append(edges, graph.Edge{U: graph.VertexID(u), V: graph.VertexID(v)})
+		if err := emit(graph.Edge{U: graph.VertexID(u), V: graph.VertexID(v)}); err != nil {
+			return err
+		}
 	}
-	return edges
+	return nil
 }

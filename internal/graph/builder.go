@@ -69,9 +69,28 @@ func (b *Builder) Build() *Digraph {
 }
 
 // FromEdges builds a Digraph with n vertices from an edge list. The
-// input slice is not modified. Duplicate edges are removed. It panics
-// if an edge references a vertex outside [0, n).
+// input slice is neither modified nor copied. Duplicate edges are
+// removed. It panics if an edge references a vertex outside [0, n).
+//
+// The build is the parallel counting construction of parallel.go:
+// deterministic, and byte-identical to the historical global-sort
+// builder (fromEdgesSort, kept as the test reference).
 func FromEdges(n int, edges []Edge) *Digraph {
+	return fromEdgesParallel(n, edges, 0)
+}
+
+// FromEdgesParallel is FromEdges with an explicit worker count
+// (<= 0 picks automatically). The output is identical for every
+// worker count; tests pin the builds against each other.
+func FromEdgesParallel(n int, edges []Edge, workers int) *Digraph {
+	return fromEdgesParallel(n, edges, workers)
+}
+
+// fromEdgesSort is the historical builder: copy the edge slice, one
+// global (U, V) sort, dedup, then counting placement. It is the
+// reference implementation the parallel build is pinned byte-identical
+// to; only tests call it.
+func fromEdgesSort(n int, edges []Edge) *Digraph {
 	for _, e := range edges {
 		if int(e.U) >= n || int(e.V) >= n || e.U < 0 || e.V < 0 {
 			panic(fmt.Sprintf("graph: edge (%d,%d) out of range for n=%d", e.U, e.V, n))
@@ -112,7 +131,6 @@ func FromEdges(n int, edges []Edge) *Digraph {
 	// Out adjacency is already in (U, V) order.
 	for i, e := range sorted {
 		outAdj[i] = e.V
-		_ = i
 	}
 	// In adjacency: counting placement, then per-vertex sort for
 	// deterministic, ID-sorted neighborhoods.

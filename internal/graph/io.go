@@ -137,27 +137,10 @@ func ReadBinary(r io.Reader) (*Digraph, error) {
 	if err != nil {
 		return nil, err
 	}
-	if outOff[n] != m || inOff[n] != m {
-		return nil, errors.New("graph: corrupt binary file (offset mismatch)")
-	}
 	// Validate offsets and adjacency entries so a corrupt file cannot
 	// produce out-of-range slicing later.
-	for _, off := range [][]int64{outOff, inOff} {
-		if off[0] != 0 {
-			return nil, errors.New("graph: corrupt binary file (bad first offset)")
-		}
-		for i := 1; i <= n; i++ {
-			if off[i] < off[i-1] || off[i] > m {
-				return nil, errors.New("graph: corrupt binary file (non-monotone offsets)")
-			}
-		}
-	}
-	for _, adj := range [][]VertexID{outAdj, inAdj} {
-		for _, v := range adj {
-			if v < 0 || int(v) >= n {
-				return nil, errors.New("graph: corrupt binary file (vertex out of range)")
-			}
-		}
+	if err := validateCSR(n, m, outOff, inOff, outAdj, inAdj); err != nil {
+		return nil, err
 	}
 	return newDigraph(int32(n), outOff, outAdj, inOff, inAdj), nil
 }
@@ -191,8 +174,9 @@ func readVertexIDs(r io.Reader, count int64) ([]VertexID, error) {
 	return out, nil
 }
 
-// LoadFile loads a graph from path, detecting the binary format by its
-// magic number and falling back to the text edge-list parser.
+// LoadFile loads a graph from path, detecting the binary formats (v1
+// and v2) by their magic numbers and falling back to the text
+// edge-list parser.
 func LoadFile(path string) (*Digraph, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -200,32 +184,48 @@ func LoadFile(path string) (*Digraph, error) {
 	}
 	defer f.Close()
 	var magic [8]byte
-	if _, err := io.ReadFull(f, magic[:]); err == nil &&
-		binary.LittleEndian.Uint64(magic[:]) == binaryMagic {
-		if _, err := f.Seek(0, io.SeekStart); err != nil {
-			return nil, fmt.Errorf("graph: %w", err)
-		}
-		return ReadBinary(f)
+	_, serr := io.ReadFull(f, magic[:])
+	if serr != nil && !errors.Is(serr, io.EOF) && !errors.Is(serr, io.ErrUnexpectedEOF) {
+		// A real I/O failure (permissions, a directory, a dying disk)
+		// is not "this is a text file": report it instead of letting
+		// the text parser turn it into a confusing parse error.
+		return nil, fmt.Errorf("graph: sniffing %s: %w", path, serr)
 	}
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return nil, fmt.Errorf("graph: %w", err)
 	}
+	if serr == nil {
+		// Files shorter than 8 bytes cannot carry a magic number and
+		// fall through to the text parser ("1 2" is a valid graph).
+		switch binary.LittleEndian.Uint64(magic[:]) {
+		case binaryMagic:
+			return ReadBinary(f)
+		case binaryMagic2:
+			return ReadBinary2(f)
+		}
+	}
 	return ReadEdgeList(f)
 }
 
-// SaveFile writes g to path; binary chooses the format.
+// SaveFile writes g to path; binary chooses the format (the v2
+// mmap-friendly layout — WriteBinary still emits v1 for compatibility
+// tooling, and LoadFile reads both).
 func SaveFile(path string, g *Digraph, binaryFormat bool) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("graph: %w", err)
 	}
-	defer f.Close()
 	if binaryFormat {
-		if err := WriteBinary(f, g); err != nil {
-			return err
-		}
-	} else if err := WriteEdgeList(f, g); err != nil {
-		return err
+		err = WriteBinary2(f, g)
+	} else {
+		err = WriteEdgeList(f, g)
 	}
-	return f.Close()
+	// Exactly one close, and its error reported exactly once: a write
+	// failure wins (the close error is then usually a consequence),
+	// a clean write surfaces the close error, which is where buffered
+	// filesystems report ENOSPC.
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("graph: closing %s: %w", path, cerr)
+	}
+	return err
 }

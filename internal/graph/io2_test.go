@@ -1,0 +1,284 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func v2TestGraph(t *testing.T) *Digraph {
+	t.Helper()
+	return FromEdges(6, []Edge{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 1, V: 3}, {U: 2, V: 3},
+		{U: 3, V: 4}, {U: 4, V: 0}, {U: 5, V: 5},
+	})
+}
+
+func TestBinaryV2RoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *Digraph
+	}{
+		{"small", v2TestGraph(t)},
+		{"no-edges", FromEdges(4, nil)},
+		{"single-vertex", FromEdges(1, []Edge{{U: 0, V: 0}})},
+		{"random", fromEdgesSort(200, randomTestEdges(200, 1500, 42))},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := WriteBinary2(&buf, tc.g); err != nil {
+				t.Fatalf("WriteBinary2: %v", err)
+			}
+			// The file is exactly the canonical layout size, and every
+			// section starts on a page boundary.
+			h := v2Layout(uint64(tc.g.NumVertices()), uint64(tc.g.NumEdges()))
+			if got := uint64(buf.Len()); got != h.fileSize() {
+				t.Fatalf("file size %d, want %d", got, h.fileSize())
+			}
+			for i, s := range h.sec {
+				if s.off%v2Page != 0 {
+					t.Fatalf("section %d offset %d not page aligned", i, s.off)
+				}
+			}
+			got, err := ReadBinary2(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("ReadBinary2: %v", err)
+			}
+			assertIdenticalCSR(t, tc.g, got)
+		})
+	}
+}
+
+func TestBinaryV1AndV2LoadIdentically(t *testing.T) {
+	g := v2TestGraph(t)
+	dir := t.TempDir()
+	v1, v2 := filepath.Join(dir, "g1.bin"), filepath.Join(dir, "g2.bin")
+
+	f1, err := os.Create(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(f1, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := f1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveFile(v2, g, true); err != nil {
+		t.Fatal(err)
+	}
+
+	// SaveFile's binary format is v2 now.
+	head := make([]byte, 8)
+	raw, err := os.ReadFile(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(head, raw)
+	if binary.LittleEndian.Uint64(head) != binaryMagic2 {
+		t.Fatalf("SaveFile wrote magic %#x, want v2", binary.LittleEndian.Uint64(head))
+	}
+
+	// LoadFile dispatches both magics to the same graph.
+	g1, err := LoadFile(v1)
+	if err != nil {
+		t.Fatalf("LoadFile v1: %v", err)
+	}
+	g2, err := LoadFile(v2)
+	if err != nil {
+		t.Fatalf("LoadFile v2: %v", err)
+	}
+	assertIdenticalCSR(t, g, g1)
+	assertIdenticalCSR(t, g, g2)
+}
+
+func TestMapFileMatchesReadBinary2(t *testing.T) {
+	g := fromEdgesSort(300, randomTestEdges(300, 2500, 7))
+	path := filepath.Join(t.TempDir(), "g.bin")
+	if err := SaveFile(path, g, true); err != nil {
+		t.Fatal(err)
+	}
+	m, err := MapFile(path)
+	if err != nil {
+		t.Fatalf("MapFile: %v", err)
+	}
+	assertIdenticalCSR(t, g, m.Digraph)
+	// The mapped view must satisfy every accessor, not just raw arrays.
+	for v := VertexID(0); int(v) < g.NumVertices(); v++ {
+		if got, want := m.OutDegree(v), g.OutDegree(v); got != want {
+			t.Fatalf("OutDegree(%d) = %d, want %d", v, got, want)
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestMapFileRejectsNonV2(t *testing.T) {
+	dir := t.TempDir()
+	v1 := filepath.Join(dir, "g1.bin")
+	f, err := os.Create(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(f, v2TestGraph(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MapFile(v1); err == nil {
+		t.Fatal("MapFile accepted a v1 file")
+	}
+	short := filepath.Join(dir, "short.bin")
+	if err := os.WriteFile(short, []byte("DRLGRPH2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MapFile(short); err == nil {
+		t.Fatal("MapFile accepted a truncated header")
+	}
+}
+
+func TestReadBinary2RejectsTruncation(t *testing.T) {
+	g := v2TestGraph(t)
+	var buf bytes.Buffer
+	if err := WriteBinary2(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Cut inside the header, at each section boundary, and inside each
+	// section's payload.
+	cuts := []int{0, 17, v2Page - 1, v2Page, v2Page + 9, 2 * v2Page, len(full) - v2Page, len(full) - 1}
+	for _, cut := range cuts {
+		if cut < 0 || cut >= len(full) {
+			continue
+		}
+		if _, err := ReadBinary2(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d of %d accepted", cut, len(full))
+		}
+	}
+}
+
+func TestReadBinary2RejectsCorruptHeader(t *testing.T) {
+	g := v2TestGraph(t)
+	var buf bytes.Buffer
+	if err := WriteBinary2(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	corrupt := func(off int, val byte) []byte {
+		c := append([]byte(nil), full...)
+		c[off] ^= val
+		return c
+	}
+	cases := map[string]int{
+		"magic":         0,
+		"version":       8,
+		"n":             16,
+		"m":             24,
+		"section-off":   32,
+		"section-size":  40,
+		"header-spare":  v2CRCOff + 8, // covered by nothing: must still decode
+		"checksum-byte": v2CRCOff,
+	}
+	for name, off := range cases {
+		_, err := ReadBinary2(bytes.NewReader(corrupt(off, 0x5a)))
+		if name == "header-spare" {
+			// Bytes past the CRC are padding; flipping them must not
+			// break the strict decode (they are outside the checksum).
+			if err != nil {
+				t.Errorf("flip %s: unexpected error %v", name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("flip %s: corrupt header accepted", name)
+		}
+	}
+}
+
+func TestReadBinary2RejectsCorruptSections(t *testing.T) {
+	g := v2TestGraph(t)
+	var buf bytes.Buffer
+	if err := WriteBinary2(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	h := v2Layout(uint64(g.NumVertices()), uint64(g.NumEdges()))
+	// Out-of-range adjacency entry.
+	c := append([]byte(nil), full...)
+	binary.LittleEndian.PutUint32(c[h.sec[1].off:], uint32(g.NumVertices()+5))
+	if _, err := ReadBinary2(bytes.NewReader(c)); err == nil {
+		t.Error("out-of-range adjacency accepted")
+	}
+	// Non-monotone offsets.
+	c = append([]byte(nil), full...)
+	binary.LittleEndian.PutUint64(c[h.sec[0].off+8:], uint64(1<<40))
+	if _, err := ReadBinary2(bytes.NewReader(c)); err == nil {
+		t.Error("non-monotone offsets accepted")
+	}
+}
+
+func TestLoadFileShortFiles(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name, content string
+		wantErr       bool
+		vertices      int
+	}{
+		{"empty", "", false, 0},
+		{"five-bytes", "1 2\n", false, 3}, // shorter than a magic number
+		{"seven-bytes", "10 11\n", false, 12},
+		{"comment-only", "# nothing here\n", false, 0},
+		{"eight-byte-text", "3 4\n5 6\n", false, 7},
+		{"garbage", "not a graph at all\n", true, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(dir, tc.name)
+			if err := os.WriteFile(path, []byte(tc.content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			g, err := LoadFile(path)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("expected error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("LoadFile: %v", err)
+			}
+			if g.NumVertices() != tc.vertices {
+				t.Fatalf("vertices = %d, want %d", g.NumVertices(), tc.vertices)
+			}
+		})
+	}
+}
+
+func TestLoadFileReportsSniffErrors(t *testing.T) {
+	// Reading a directory fails with a real I/O error (EISDIR), which
+	// must surface as a sniff failure — not get misparsed as an empty
+	// text graph or a confusing parse error.
+	dir := t.TempDir()
+	_, err := LoadFile(dir)
+	if err == nil {
+		t.Fatal("expected error loading a directory")
+	}
+	if !strings.Contains(err.Error(), "sniffing") {
+		t.Fatalf("err = %v, want a sniff error", err)
+	}
+}
+
+func TestSaveFileReportsCreateError(t *testing.T) {
+	err := SaveFile(filepath.Join(t.TempDir(), "no", "such", "dir", "g.bin"), v2TestGraph(t), true)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+}

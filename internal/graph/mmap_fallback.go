@@ -1,0 +1,34 @@
+//go:build !unix
+
+package graph
+
+import (
+	"fmt"
+	"os"
+)
+
+// Mapped is the portable stand-in for the unix mmap loader: the graph
+// is read with the copying v2 reader and Close is a no-op, so callers
+// use one code path everywhere.
+type Mapped struct {
+	*Digraph
+	data []byte
+}
+
+// MapFile loads a binary v2 graph. Without mmap support it copies via
+// ReadBinary2; the API matches the unix zero-copy loader.
+func MapFile(path string) (*Mapped, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("graph: %w", err)
+	}
+	defer f.Close()
+	g, err := ReadBinary2(f)
+	if err != nil {
+		return nil, err
+	}
+	return &Mapped{Digraph: g}, nil
+}
+
+// Close releases nothing on the fallback loader.
+func (m *Mapped) Close() error { return nil }

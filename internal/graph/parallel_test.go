@@ -1,0 +1,185 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randomTestEdges produces a messy edge list: duplicates, self-loops,
+// a degree skew toward low vertex IDs, and (for spice) a few isolated
+// vertices at the top of the ID range.
+func randomTestEdges(n, m int, seed int64) []Edge {
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]Edge, 0, m)
+	for i := 0; i < m; i++ {
+		u := VertexID(rng.Intn(n))
+		v := VertexID(rng.Intn(n))
+		if rng.Float64() < 0.3 { // skew: hubs at low IDs
+			v = VertexID(rng.Intn(n/4 + 1))
+		}
+		if rng.Float64() < 0.05 {
+			v = u // self-loop
+		}
+		edges = append(edges, Edge{U: u, V: v})
+		if rng.Float64() < 0.1 { // exact duplicate
+			edges = append(edges, Edge{U: u, V: v})
+		}
+	}
+	return edges
+}
+
+// assertIdenticalCSR requires the raw CSR arrays to match exactly —
+// the byte-identical guarantee the parallel builder is pinned to, one
+// level stricter than assertSameGraph's neighbor-list comparison.
+func assertIdenticalCSR(t *testing.T, want, got *Digraph) {
+	t.Helper()
+	if want.n != got.n || want.m != got.m {
+		t.Fatalf("shape differs: n=%d/%d m=%d/%d", want.n, got.n, want.m, got.m)
+	}
+	pairs := []struct {
+		name string
+		a, b []int64
+	}{{"outOff", want.outOff, got.outOff}, {"inOff", want.inOff, got.inOff}}
+	for _, p := range pairs {
+		if len(p.a) != len(p.b) {
+			t.Fatalf("%s length differs: %d vs %d", p.name, len(p.a), len(p.b))
+		}
+		for i := range p.a {
+			if p.a[i] != p.b[i] {
+				t.Fatalf("%s[%d] = %d, want %d", p.name, i, p.b[i], p.a[i])
+			}
+		}
+	}
+	adjPairs := []struct {
+		name string
+		a, b []VertexID
+	}{{"outAdj", want.outAdj, got.outAdj}, {"inAdj", want.inAdj, got.inAdj}}
+	for _, p := range adjPairs {
+		if len(p.a) != len(p.b) {
+			t.Fatalf("%s length differs: %d vs %d", p.name, len(p.a), len(p.b))
+		}
+		for i := range p.a {
+			if p.a[i] != p.b[i] {
+				t.Fatalf("%s[%d] = %d, want %d", p.name, i, p.b[i], p.a[i])
+			}
+		}
+	}
+}
+
+func TestParallelBuilderMatchesReference(t *testing.T) {
+	cases := []struct {
+		n, m int
+		seed int64
+	}{
+		{1, 0, 1},
+		{1, 5, 2}, // only self-loops possible
+		{7, 3, 3},
+		{50, 400, 4},
+		{257, 2000, 5},
+		{1000, 50, 6},   // sparse: most vertices isolated
+		{300, 9000, 7},  // dense
+		{4096, 4096, 8}, // around one grain
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("n%d_m%d", tc.n, tc.m), func(t *testing.T) {
+			edges := randomTestEdges(tc.n, tc.m, tc.seed)
+			want := fromEdgesSort(tc.n, append([]Edge(nil), edges...))
+			for _, workers := range []int{1, 2, 3, 4, 8} {
+				got := FromEdgesParallel(tc.n, edges, workers)
+				assertIdenticalCSR(t, want, got)
+			}
+			got := FromEdges(tc.n, edges)
+			assertIdenticalCSR(t, want, got)
+			streamed, err := FromEdgeStream(tc.n, StreamOfEdges(edges))
+			if err != nil {
+				t.Fatalf("FromEdgeStream: %v", err)
+			}
+			assertIdenticalCSR(t, want, streamed)
+		})
+	}
+}
+
+func TestParallelBuilderNoEdges(t *testing.T) {
+	want := fromEdgesSort(10, nil)
+	assertIdenticalCSR(t, want, FromEdges(10, nil))
+	streamed, err := FromEdgeStream(10, StreamOfEdges(nil))
+	if err != nil {
+		t.Fatalf("FromEdgeStream: %v", err)
+	}
+	assertIdenticalCSR(t, want, streamed)
+}
+
+func TestParallelBuilderPanicsOutOfRange(t *testing.T) {
+	for _, bad := range []Edge{{U: 0, V: 5}, {U: -1, V: 0}, {U: 2, V: 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("edge %v: expected panic", bad)
+				}
+			}()
+			FromEdgesParallel(2, []Edge{{U: 0, V: 1}, bad}, 4)
+		}()
+	}
+}
+
+func TestFromEdgeStreamRejectsBadEdges(t *testing.T) {
+	// The streaming builder reports invalid edges as errors, never
+	// panics: a stream source is typically external input.
+	_, err := FromEdgeStream(2, StreamOfEdges([]Edge{{U: 0, V: 5}}))
+	if err == nil {
+		t.Fatal("expected error for out-of-range edge")
+	}
+	if _, err := FromEdgeStream(-1, StreamOfEdges(nil)); err == nil {
+		t.Fatal("expected error for negative vertex count")
+	}
+}
+
+func TestFromEdgeStreamDetectsDivergence(t *testing.T) {
+	// A stream that emits different edges on replay must be caught,
+	// not silently build a wrong graph.
+	pass := 0
+	diverging := func(emit func(Edge) error) error {
+		pass++
+		if pass == 1 {
+			return errorsJoin(emit(Edge{U: 0, V: 1}), emit(Edge{U: 1, V: 2}))
+		}
+		return errorsJoin(emit(Edge{U: 0, V: 1}), emit(Edge{U: 0, V: 2}))
+	}
+	if _, err := FromEdgeStream(3, diverging); err == nil {
+		t.Fatal("expected replay-divergence error")
+	}
+
+	pass = 0
+	growing := func(emit func(Edge) error) error {
+		pass++
+		if err := emit(Edge{U: 0, V: 1}); err != nil {
+			return err
+		}
+		if pass > 1 { // extra edge on replay
+			return emit(Edge{U: 1, V: 2})
+		}
+		return nil
+	}
+	if _, err := FromEdgeStream(3, growing); err == nil {
+		t.Fatal("expected replay-divergence error for growing stream")
+	}
+}
+
+func TestFromEdgeStreamPropagatesSourceError(t *testing.T) {
+	boom := errors.New("boom")
+	failing := func(emit func(Edge) error) error { return boom }
+	if _, err := FromEdgeStream(3, failing); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+func errorsJoin(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// Streaming CSR construction: build a graph from an edge *stream*
+// without ever materializing the edge slice, so generating and
+// labeling a graph never holds raw edges and CSR simultaneously
+// (at 10⁸ edges the raw slice alone is ~800 MB).
+//
+// The counting build needs two passes over the edges, so the stream
+// must be replayable: FromEdgeStream invokes it twice and requires the
+// two replays to be identical (every deterministic seeded generator
+// is; a file-backed stream trivially is). A divergent second replay is
+// detected and reported, never silently mis-built.
+
+// EdgeStreamFunc produces an edge stream by calling emit once per
+// edge, in a deterministic order. Returning a non-nil error from emit
+// aborts the stream; the stream must propagate it.
+type EdgeStreamFunc func(emit func(Edge) error) error
+
+// errStopStream cancels a replay early from inside emit.
+var errStopStream = fmt.Errorf("graph: stop stream")
+
+// FromEdgeStream builds a Digraph with n vertices by two passes over
+// the stream: count raw out-degrees, then place targets into their
+// source buckets. Sorting, deduplication, compaction, and the
+// in-direction derivation run parallel afterwards, exactly as
+// FromEdges — the result is byte-identical to FromEdges over the same
+// edge sequence. Peak transient memory is one raw bucket array
+// (4 bytes per streamed edge) instead of the 8-byte-per-edge slice.
+func FromEdgeStream(n int, stream EdgeStreamFunc) (*Digraph, error) {
+	if n < 0 || int64(n) > math.MaxInt32 {
+		return nil, fmt.Errorf("graph: vertex count %d out of range", n)
+	}
+
+	// Pass 1: count and validate.
+	cnt := make([]int64, n)
+	var raw int64
+	err := stream(func(e Edge) error {
+		if int(e.U) >= n || int(e.V) >= n || e.U < 0 || e.V < 0 {
+			return fmt.Errorf("graph: edge (%d,%d) out of range for n=%d", e.U, e.V, n)
+		}
+		cnt[e.U]++
+		raw++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rawOff := prefixSum(cnt)
+	for v := range cnt {
+		cnt[v] = 0
+	}
+
+	// Pass 2: replay and place. The replay must reproduce pass 1's
+	// sequence; a bucket overflow or count mismatch means it did not.
+	prov := make([]VertexID, raw)
+	var seen int64
+	err = stream(func(e Edge) error {
+		if int(e.U) >= n || e.U < 0 {
+			return errStopStream
+		}
+		slot := cnt[e.U]
+		if slot >= rawOff[e.U+1]-rawOff[e.U] {
+			return errStopStream
+		}
+		prov[rawOff[e.U]+slot] = e.V
+		cnt[e.U]++
+		seen++
+		return nil
+	})
+	if err == errStopStream || (err == nil && seen != raw) {
+		return nil, fmt.Errorf("graph: edge stream is not replayable (pass 1 yielded %d edges, pass 2 diverged at edge %d)", raw, seen)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	workers := buildWorkers(int(min(raw, math.MaxInt32)))
+	outOff, outAdj := dedupCompact(n, prov, rawOff, cnt, workers)
+	inOff, inAdj := inFromOut(n, outOff, outAdj, cnt, workers)
+	return newDigraph(int32(n), outOff, outAdj, inOff, inAdj), nil
+}
+
+// StreamOfEdges adapts an in-memory edge slice to an EdgeStreamFunc
+// (tests and callers that already hold the slice).
+func StreamOfEdges(edges []Edge) EdgeStreamFunc {
+	return func(emit func(Edge) error) error {
+		for _, e := range edges {
+			if err := emit(e); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}

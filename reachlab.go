@@ -72,6 +72,15 @@ type Options struct {
 	// Obs receives build-time counters and superstep traces; nil
 	// disables observability (see MetricsRegistry).
 	Obs *MetricsRegistry
+	// LabelBudget > 0 caps every per-vertex label list at that many
+	// entries per direction (the memory-bounded mode for graphs whose
+	// full 2-hop cover does not fit): label entries stay exact, lists
+	// that hit the cap are flagged incomplete, and queries touching a
+	// flagged endpoint fall back to a label-pruned BFS over the graph.
+	// Requires MethodTOL (the cap is applied during the serial rounds;
+	// leaving Method empty selects it), and the resulting index
+	// retains the graph — it cannot be serialized with WriteTo.
+	LabelBudget int
 }
 
 func (o Options) method() Method {
@@ -127,12 +136,16 @@ type BuildStats struct {
 	LastCheckpointStep int   // superstep of the newest checkpoint
 }
 
-// Index is a reachability index over a graph. It is self-contained:
-// queries never touch the graph, so the index can be serialized and
-// served from a single machine regardless of where the graph lives.
+// Index is a reachability index over a graph. Full builds are
+// self-contained: queries never touch the graph, so the index can be
+// serialized and served from a single machine regardless of where the
+// graph lives. A budgeted build (Options.LabelBudget) is the
+// exception — it retains the graph for fallback queries and cannot be
+// serialized.
 type Index struct {
 	idx   *label.Index
-	comp  []int32 // optional SCC-condensation mapping
+	bidx  *label.Budgeted // non-nil for memory-bounded builds; retains the graph
+	comp  []int32         // optional SCC-condensation mapping
 	stats BuildStats
 }
 
@@ -157,6 +170,29 @@ func Build(ctx context.Context, g *Graph, opts Options) (*Index, error) {
 	var cancel <-chan struct{}
 	if ctx != nil {
 		cancel = ctx.Done()
+	}
+
+	if opts.LabelBudget > 0 {
+		if opts.Method != "" && method != MethodTOL {
+			return nil, fmt.Errorf("reachlab: LabelBudget requires MethodTOL, not %q", method)
+		}
+		bidx, err := tol.BuildBudgeted(gd, ord, opts.LabelBudget, cancel)
+		if err != nil {
+			if errors.Is(err, tol.ErrCanceled) && ctx != nil && ctx.Err() != nil {
+				return nil, fmt.Errorf("reachlab: build canceled: %w", ctx.Err())
+			}
+			return nil, fmt.Errorf("reachlab: building budgeted index: %w", err)
+		}
+		return &Index{
+			idx:  bidx.Index(),
+			bidx: bidx,
+			comp: comp,
+			stats: BuildStats{
+				Method:   MethodTOL,
+				Workers:  1,
+				WallTime: time.Since(start),
+			},
+		}, nil
 	}
 
 	var (
@@ -223,6 +259,9 @@ func (x *Index) Reachable(s, t VertexID) bool {
 			return true
 		}
 	}
+	if x.bidx != nil {
+		return x.bidx.Reachable(s, t)
+	}
 	return x.idx.Reachable(s, t)
 }
 
@@ -236,6 +275,9 @@ type Pair = label.Pair
 // HTTP endpoint exists to expose.
 func (x *Index) ReachableBatch(pairs []Pair) []bool {
 	if x.comp == nil {
+		if x.bidx != nil {
+			return x.bidx.ReachableBatch(pairs)
+		}
 		return x.idx.ReachableBatch(pairs)
 	}
 	// Condensed index: map both endpoints through the component table;
@@ -252,7 +294,11 @@ func (x *Index) ReachableBatch(pairs []Pair) []bool {
 		sub = append(sub, Pair{S: s, T: t})
 		subPos = append(subPos, i)
 	}
-	for k, ans := range x.idx.ReachableBatch(sub) {
+	subRes := x.idx.ReachableBatch
+	if x.bidx != nil {
+		subRes = x.bidx.ReachableBatch
+	}
+	for k, ans := range subRes(sub) {
 		res[subPos[k]] = ans
 	}
 	return res
@@ -281,24 +327,39 @@ type IndexStats struct {
 	Bytes        int64   // serialized footprint
 	MaxLabelSize int     // Δ of §II-A
 	AvgLabelSize float64 // mean label size per side
+
+	// Budgeted-build fields (zero for full builds).
+	LabelBudget   int // the per-vertex per-direction cap
+	OverflowedIn  int // vertices whose in-label list is incomplete
+	OverflowedOut int // vertices whose out-label list is incomplete
 }
 
 // Stats returns the index payload summary.
 func (x *Index) Stats() IndexStats {
-	return IndexStats{
+	st := IndexStats{
 		Entries:      x.idx.Entries(),
 		Bytes:        x.idx.SizeBytes(),
 		MaxLabelSize: x.idx.MaxLabelSize(),
 		AvgLabelSize: x.idx.AvgLabelSize(),
 	}
+	if x.bidx != nil {
+		st.LabelBudget = x.bidx.Budget()
+		st.OverflowedIn, st.OverflowedOut = x.bidx.Overflowed()
+	}
+	return st
 }
 
 // The serialized form wraps the label payload in a small envelope so
 // condensed indexes can carry their component table.
 const indexEnvelopeMagic = uint64(0x524c49584e564531) // "RLIXNVE1"
 
-// WriteTo serializes the index (see ReadIndex).
+// WriteTo serializes the index (see ReadIndex). Budgeted indexes are
+// not serializable: their query path needs the graph, which is not
+// part of the index file format.
 func (x *Index) WriteTo(w io.Writer) (int64, error) {
+	if x.bidx != nil {
+		return 0, errors.New("reachlab: a budgeted index retains its graph and cannot be serialized")
+	}
 	var written int64
 	put := func(data any, size int64) error {
 		if err := binary.Write(w, binary.LittleEndian, data); err != nil {

@@ -484,6 +484,12 @@ func (h *QueryHandler) stats(w http.ResponseWriter, _ *http.Request) {
 		"bytes":          st.Bytes,
 		"max_label_size": st.MaxLabelSize,
 		"avg_label_size": st.AvgLabelSize,
+		// Memory-bounded builds only (Options.LabelBudget): the cap and
+		// how many vertices hit it per direction. All zero for full
+		// indexes, whose misses never need a fallback.
+		"label_budget":   st.LabelBudget,
+		"overflowed_in":  st.OverflowedIn,
+		"overflowed_out": st.OverflowedOut,
 		"cache": map[string]any{
 			"capacity": stSrv.cache.Capacity(),
 			"shards":   stSrv.cache.Shards(),
