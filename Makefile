@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet lint lint-json invariants check check-full cover bench bench-smoke bench-compare loadtest load-compare fleettest updatetest update-compare scale-smoke tools examples experiments clean
+.PHONY: all build test vet lint lint-json invariants check check-full cover bench bench-smoke bench-compare loadtest load-compare fleettest updatetest update-compare scale-smoke querytest tools examples experiments clean
 
 all: build vet test
 
@@ -91,6 +91,15 @@ fleettest:
 # output with benchcompare (CI's scale-smoke job). No timings gated.
 scale-smoke:
 	./scripts/scale_smoke.sh
+
+# End-to-end rich-query smoke: drserve with witness paths enabled
+# (-idx + -graph), verified drload bursts at /reach/path, /reach/count,
+# and /reach/join, curl spot checks of the refusal paths, then the
+# deterministic query-workload record regenerated and gated exactly
+# against the committed BENCH_query-citation-*.json baseline (CI's
+# query-smoke job). No timings gated.
+querytest:
+	./scripts/query_smoke.sh
 
 # End-to-end update smoke: drserve in update mode (-graph/-wal) —
 # POST /edges point checks with epoch-acknowledged reads, a drload

@@ -30,6 +30,12 @@
 // printed side by side but never gated (medians over a noisy host).
 // Both records must come from the same parameters; comparing different
 // configurations is a usage error, not a regression.
+//
+// Records written by drbench -exp query get the same treatment: the
+// rich-query workload's aggregate counts (reachable pairs, total
+// witness-path hops, set-size sums, join cardinality) are pure
+// functions of the generator parameters and the code, so they must
+// match exactly; phase timings are informational.
 package main
 
 import (
@@ -78,6 +84,29 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("\nbenchcompare: scale outputs identical")
+		return
+	}
+
+	// Query-workload records (drbench -exp query) are likewise diffed
+	// with an exact-match comparator: every aggregate count is a pure
+	// function of the generator parameters and the code.
+	if oldRec.QueryWorkload != nil || newRec.QueryWorkload != nil {
+		if oldRec.QueryWorkload == nil || newRec.QueryWorkload == nil {
+			fmt.Fprintln(os.Stderr, "benchcompare: only one record is a query-workload record; compare like with like")
+			os.Exit(2)
+		}
+		regressions, err := compareQueryWorkload(oldRec.QueryWorkload, newRec.QueryWorkload)
+		if err != nil {
+			fatal(err)
+		}
+		if len(regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "\nbenchcompare: %d query-workload regression(s):\n", len(regressions))
+			for _, r := range regressions {
+				fmt.Fprintln(os.Stderr, "  "+r)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("\nbenchcompare: query-workload outputs identical")
 		return
 	}
 
@@ -205,6 +234,51 @@ func compareScale(o, n *bench.ScaleRecord) ([]string, error) {
 		oldPhases[ph.Phase] = ph
 	}
 	fmt.Printf("\n%-16s %12s %12s %8s   (informational)\n", "PHASE", "MED(old)", "MED(new)", "Δ%")
+	for _, nph := range n.Phases {
+		oph, ok := oldPhases[nph.Phase]
+		if !ok {
+			continue
+		}
+		fmt.Printf("%-16s %12.3f %12.3f %7.1f%%\n",
+			nph.Phase, oph.MedianSeconds, nph.MedianSeconds, pctF(oph.MedianSeconds, nph.MedianSeconds))
+	}
+	return regressions, nil
+}
+
+// compareQueryWorkload diffs two drbench -exp query records. Like the
+// scale comparator: the aggregate counts are deterministic functions
+// of the parameters, gated exactly; phase timings are shown for
+// context only. A parameter mismatch is an error, not a regression.
+func compareQueryWorkload(o, n *bench.QueryWorkloadRecord) ([]string, error) {
+	if o.Family != n.Family || o.N != n.N || o.AvgDegree != n.AvgDegree || o.Seed != n.Seed ||
+		o.PairSamples != n.PairSamples || o.CountSources != n.CountSources {
+		return nil, fmt.Errorf(
+			"query-workload parameters differ (old %s n=%d deg=%g seed=%d pairs=%d, new %s n=%d deg=%g seed=%d pairs=%d); records are not comparable",
+			o.Family, o.N, o.AvgDegree, o.Seed, o.PairSamples,
+			n.Family, n.N, n.AvgDegree, n.Seed, n.PairSamples)
+	}
+	fmt.Printf("query %s n=%d deg=%g seed=%d pairs=%d\n", n.Family, n.N, n.AvgDegree, n.Seed, n.PairSamples)
+	var regressions []string
+	fmt.Printf("%-16s %14s %14s\n", "FIELD", "OLD", "NEW")
+	gate := func(name string, ov, nv int64) {
+		fmt.Printf("%-16s %14d %14d\n", name, ov, nv)
+		if ov != nv {
+			regressions = append(regressions, fmt.Sprintf("%s changed %d -> %d", name, ov, nv))
+		}
+	}
+	gate("edges", o.Edges, n.Edges)
+	gate("reachable_pairs", int64(o.ReachablePairs), int64(n.ReachablePairs))
+	gate("path_hops", o.PathHops, n.PathHops)
+	gate("reachable_sum", o.ReachableSum, n.ReachableSum)
+	gate("join_sources", int64(o.JoinSources), int64(n.JoinSources))
+	gate("join_targets", int64(o.JoinTargets), int64(n.JoinTargets))
+	gate("join_pairs", int64(o.JoinPairs), int64(n.JoinPairs))
+
+	oldPhases := map[string]bench.ScalePhase{}
+	for _, ph := range o.Phases {
+		oldPhases[ph.Phase] = ph
+	}
+	fmt.Printf("\n%-16s %12s %12s %8s   (informational)\n", "PHASE", "SEC(old)", "SEC(new)", "Δ%")
 	for _, nph := range n.Phases {
 		oph, ok := oldPhases[nph.Phase]
 		if !ok {

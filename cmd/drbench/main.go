@@ -17,6 +17,14 @@
 //
 //	drbench -exp scale -scale-n 10000000 -scale-budget 32 -runs 5 -json
 //
+// -exp query runs the rich-query workload (witness paths, one-source
+// sweeps, set sizes, a reachability join — DESIGN.md §15) over one
+// generated graph, reusing the -scale-* generator flags. Every
+// aggregate count in the record is deterministic and benchcompare
+// gates it exactly; the phase timings are informational:
+//
+//	drbench -exp query -scale-n 20000 -scale-seed 1 -json
+//
 // -json additionally runs a profiling pass (TOL, DRL_b^M, DRL, DRL_b
 // per dataset) and writes a machine-readable
 // BENCH_<exp>-<suite>-p<P>-<unix>.json record with build times,
@@ -24,13 +32,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"repro"
 	"repro/internal/bench"
+	"repro/internal/gen"
+	"repro/internal/graph"
 	"repro/internal/netsim"
 )
 
@@ -79,6 +91,24 @@ func main() {
 		bench.PrintScale(os.Stdout, rec)
 		if *asJSON {
 			if err := writeScaleRecord(rec, *jsonDir); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+
+	// The query experiment likewise measures one parameterized graph:
+	// generate, full build, then the deterministic rich-query workload.
+	if *exp == "query" {
+		fmt.Printf("\n===== query (family %s, n=%d, deg=%.1f, seed=%d) =====\n",
+			*scaleFamily, *scaleN, *scaleDeg, *scaleSeed)
+		rec, err := runQueryWorkload(*scaleFamily, *scaleN, *scaleDeg, *scaleSeed, progressEarly)
+		if err != nil {
+			fatal(err)
+		}
+		bench.PrintQueryWorkload(os.Stdout, rec)
+		if *asJSON {
+			if err := writeQueryRecord(rec, *jsonDir); err != nil {
 				fatal(err)
 			}
 		}
@@ -203,6 +233,67 @@ func writeRecord(r *bench.Runner, ds []bench.Dataset, exp, suite, dir string, pr
 		Datasets:   recs,
 	}
 	name := fmt.Sprintf("%s/BENCH_%s-%s-p%d-%d.json", dir, exp, suite, r.Workers, now)
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", name)
+	return nil
+}
+
+// runQueryWorkload generates the graph, runs a full (graph-retaining)
+// index build, and drives the deterministic rich-query workload over
+// it. The build method does not matter for the record — every method
+// produces the identical index, and the workload's counts are graph
+// properties — so the default build is used.
+func runQueryWorkload(family string, n int, deg float64, seed int64, progress func(string)) (*bench.QueryWorkloadRecord, error) {
+	gd, err := gen.Generate(gen.Params{Family: gen.Family(family), N: n, AvgDegree: deg, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	edges := make([]reachlab.Edge, 0, gd.NumEdges())
+	for v := 0; v < gd.NumVertices(); v++ {
+		for _, w := range gd.OutNeighbors(graph.VertexID(v)) {
+			edges = append(edges, reachlab.Edge{From: graph.VertexID(v), To: w})
+		}
+	}
+	g := reachlab.NewGraph(gd.NumVertices(), edges)
+	idx, err := reachlab.Build(context.Background(), g, reachlab.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return bench.RunQueryWorkload(bench.QueryWorkloadParams{
+		Family: family, N: n, AvgDegree: deg, Seed: seed,
+	}, bench.QueryWorkloadOps{
+		Vertices:  idx.NumVertices(),
+		Edges:     gd.NumEdges(),
+		Reachable: idx.Reachable,
+		Path:      idx.WitnessPath,
+		SetSize:   idx.ReachableSetSize,
+		Sweep:     idx.ReachableFrom,
+	}, progress)
+}
+
+// writeQueryRecord serializes a query-workload run to
+// BENCH_query-<family>-n<N>-<unix>.json under dir.
+func writeQueryRecord(qw *bench.QueryWorkloadRecord, dir string) error {
+	now := time.Now().Unix()
+	rec := bench.RunRecord{
+		Experiment:    "query",
+		Suite:         qw.Family,
+		UnixTime:      now,
+		QueryWorkload: qw,
+	}
+	name := fmt.Sprintf("%s/BENCH_query-%s-n%d-%d.json", dir, qw.Family, qw.N, now)
 	f, err := os.Create(name)
 	if err != nil {
 		return err

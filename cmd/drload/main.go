@@ -19,6 +19,22 @@
 //	drload -mode inproc -idx web.idx -layout flat  -json
 //	drload -mode inproc -idx web.idx -layout slice -json
 //
+//	# Hammer the rich read endpoints (DESIGN.md §15): witness paths,
+//	# set sizes, and streaming joins, each verified against the index:
+//	drload -mode path  -addr 127.0.0.1:8080 -verify-idx web.idx -verify-graph web.bin
+//	drload -mode count -addr 127.0.0.1:8080 -verify-idx web.idx
+//	drload -mode join  -addr 127.0.0.1:8080 -batch 16 -verify-idx web.idx
+//
+// The rich modes reuse the serve-mode plumbing: path answers one
+// GET /reach/path per sampled pair (a server without the graph
+// attached answers 501, which counts as an error — run drserve with
+// -graph), count answers one GET /reach/count per sampled source, and
+// join POSTs each batch's sources×targets cross-product to
+// /reach/join and consumes the NDJSON stream. With -verify-idx a path
+// answer's reachable bit, a count's set size, and a join's exact pair
+// set are all checked against the local index; -verify-graph
+// additionally checks that every witness-path hop is a real edge.
+//
 // With -verify-idx the HTTP answers are checked against a locally
 // loaded copy of the index and any mismatch counts as an error; the
 // exit status is nonzero whenever errors occurred, which is what CI's
@@ -32,6 +48,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -39,6 +56,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"slices"
 	"strings"
 	"time"
 
@@ -49,7 +67,7 @@ import (
 
 func main() {
 	var (
-		mode      = flag.String("mode", "serve", "serve (HTTP loadgen) or inproc (layout profiling)")
+		mode      = flag.String("mode", "serve", "serve (HTTP loadgen), path, count, join (rich-endpoint loadgen), or inproc (layout profiling)")
 		addr      = flag.String("addr", "127.0.0.1:8080", "serve mode: host:port of a running drserve or drrouter")
 		addrs     = flag.String("addrs", "", "serve mode: comma-separated endpoints; overrides -addr and reports per-endpoint errors")
 		reloadEv  = flag.Duration("reload-every", 0, "serve mode: POST /admin/reload to the endpoints (round-robin) at this period during the run")
@@ -59,7 +77,8 @@ func main() {
 		reloadRef = flag.String("reload-ref", "", "serve mode: index ref sent with -reload-every reloads (default: the endpoint's own default source)")
 		idxPath   = flag.String("idx", "", "inproc mode: index file to profile (required)")
 		layout    = flag.String("layout", "flat", "inproc mode: flat (CSR index) or slice (pre-flat per-vertex lists)")
-		verifyIdx = flag.String("verify-idx", "", "serve mode: index file to check HTTP answers against")
+		verifyIdx = flag.String("verify-idx", "", "serve/path/count/join modes: index file to check HTTP answers against")
+		verifyG   = flag.String("verify-graph", "", "path mode: edge list to check witness-path hops against (needs -verify-idx)")
 		clients   = flag.Int("clients", 8, "concurrent client loops")
 		requests  = flag.Int("requests", 10000, "total requests (serve mode, ignored with -duration)")
 		duration  = flag.Duration("duration", 0, "soak: run until this deadline instead of a request count")
@@ -74,7 +93,7 @@ func main() {
 	flag.Parse()
 
 	switch *mode {
-	case "serve":
+	case "serve", "path", "count", "join":
 		list := *addrs
 		if list == "" {
 			list = *addr
@@ -83,11 +102,11 @@ func main() {
 		if len(endpoints) == 0 {
 			fatal(fmt.Errorf("no endpoints in -addr/-addrs"))
 		}
-		runServe(endpoints, *verifyIdx, *reloadEv, *reloadRef, *writers, *writeEv, *writeWin, *clients, *requests, *duration, *batch, *zipfS, *seed, *name, *asJSON, *jsonDir)
+		runServe(*mode, endpoints, *verifyIdx, *verifyG, *reloadEv, *reloadRef, *writers, *writeEv, *writeWin, *clients, *requests, *duration, *batch, *zipfS, *seed, *name, *asJSON, *jsonDir)
 	case "inproc":
 		runInproc(*idxPath, *layout, *queries, *zipfS, *seed, *name, *asJSON, *jsonDir)
 	default:
-		fatal(fmt.Errorf("unknown mode %q (serve or inproc)", *mode))
+		fatal(fmt.Errorf("unknown mode %q (serve, path, count, join, or inproc)", *mode))
 	}
 }
 
@@ -109,7 +128,7 @@ func splitAddrs(list string) []string {
 
 // runServe drives one or more live endpoints and exits nonzero on any
 // request, verification, or reload error.
-func runServe(bases []string, verifyIdx string, reloadEvery time.Duration, reloadRef string, writers int, writeEvery time.Duration, writeWindow, clients, requests int, duration time.Duration, batch int, zipfS float64, seed int64, name string, asJSON bool, jsonDir string) {
+func runServe(workload string, bases []string, verifyIdx, verifyGraph string, reloadEvery time.Duration, reloadRef string, writers int, writeEvery time.Duration, writeWindow, clients, requests int, duration time.Duration, batch int, zipfS float64, seed int64, name string, asJSON bool, jsonDir string) {
 	vertices := serverVertices(bases[0])
 	var oracle *reachlab.Index
 	if verifyIdx != "" {
@@ -121,6 +140,23 @@ func runServe(bases []string, verifyIdx string, reloadEvery time.Duration, reloa
 			fatal(fmt.Errorf("-verify-idx covers %d vertices, server reports %d", oracle.NumVertices(), vertices))
 		}
 	}
+	var pathGraph *reachlab.Graph
+	if verifyGraph != "" {
+		if workload != "path" {
+			fatal(fmt.Errorf("-verify-graph only applies to -mode path"))
+		}
+		if oracle == nil {
+			fatal(fmt.Errorf("-verify-graph needs -verify-idx (the graph checks hops, the index checks the bit)"))
+		}
+		g, err := reachlab.LoadGraph(verifyGraph)
+		if err != nil {
+			fatal(err)
+		}
+		if g.NumVertices() != vertices {
+			fatal(fmt.Errorf("-verify-graph covers %d vertices, server reports %d", g.NumVertices(), vertices))
+		}
+		pathGraph = g
+	}
 	httpc := &http.Client{
 		Timeout: 30 * time.Second,
 		Transport: &http.Transport{
@@ -129,16 +165,38 @@ func runServe(bases []string, verifyIdx string, reloadEvery time.Duration, reloa
 		},
 	}
 	endpoints := make([]bench.Client, len(bases))
-	algo := "http-single"
-	if batch > 1 {
-		algo = fmt.Sprintf("http-batch%d", batch)
+	var algo string
+	switch workload {
+	case "path":
+		algo, batch = "http-path", 1
 		for i, base := range bases {
-			endpoints[i] = batchClient(httpc, base, oracle)
+			endpoints[i] = pathClient(httpc, base, oracle, pathGraph)
 		}
-	} else {
-		batch = 1
+	case "count":
+		algo, batch = "http-count", 1
 		for i, base := range bases {
-			endpoints[i] = singleClient(httpc, base, oracle)
+			endpoints[i] = countClient(httpc, base, oracle)
+		}
+	case "join":
+		if batch < 1 {
+			batch = 1
+		}
+		algo = fmt.Sprintf("http-join%d", batch)
+		for i, base := range bases {
+			endpoints[i] = joinClient(httpc, base, oracle)
+		}
+	default:
+		algo = "http-single"
+		if batch > 1 {
+			algo = fmt.Sprintf("http-batch%d", batch)
+			for i, base := range bases {
+				endpoints[i] = batchClient(httpc, base, oracle)
+			}
+		} else {
+			batch = 1
+			for i, base := range bases {
+				endpoints[i] = singleClient(httpc, base, oracle)
+			}
 		}
 	}
 
@@ -375,6 +433,200 @@ func batchClient(httpc *http.Client, base string, oracle *reachlab.Index) bench.
 		}
 		return nil
 	}
+}
+
+// pathClient answers one witness-path request per pair via
+// GET /reach/path. The reachable bit is checked against the oracle
+// index and, when -verify-graph supplied the edge list, every hop of
+// the returned path is checked to be a real edge with the right
+// endpoints.
+func pathClient(httpc *http.Client, base string, oracle *reachlab.Index, g *reachlab.Graph) bench.Client {
+	return func(pairs []graph.Edge) error {
+		p := pairs[0]
+		resp, err := httpc.Get(fmt.Sprintf("%s/reach/path?s=%d&t=%d", base, p.U, p.V))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("path status %d", resp.StatusCode)
+		}
+		var body struct {
+			Reachable bool    `json:"reachable"`
+			Path      []int64 `json:"path"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			return err
+		}
+		if body.Reachable != (len(body.Path) > 0) {
+			return fmt.Errorf("path(%d,%d): reachable=%v but %d path vertices", p.U, p.V, body.Reachable, len(body.Path))
+		}
+		if oracle != nil && body.Reachable != oracle.Reachable(p.U, p.V) {
+			return fmt.Errorf("path(%d,%d): server says reachable=%v, index disagrees", p.U, p.V, body.Reachable)
+		}
+		if body.Reachable {
+			if body.Path[0] != int64(p.U) || body.Path[len(body.Path)-1] != int64(p.V) {
+				return fmt.Errorf("path(%d,%d): endpoints %d..%d", p.U, p.V, body.Path[0], body.Path[len(body.Path)-1])
+			}
+			if g != nil {
+				for i := 0; i+1 < len(body.Path); i++ {
+					u, v := graph.VertexID(body.Path[i]), graph.VertexID(body.Path[i+1])
+					if !hasEdge(g, u, v) {
+						return fmt.Errorf("path(%d,%d): hop %d->%d is not an edge", p.U, p.V, u, v)
+					}
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// hasEdge reports whether u->v is an edge of g.
+func hasEdge(g *reachlab.Graph, u, v graph.VertexID) bool {
+	for _, w := range g.OutNeighbors(u) {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// countClient answers one reachable-set-size request per sampled
+// source (the pair's s side) via GET /reach/count.
+func countClient(httpc *http.Client, base string, oracle *reachlab.Index) bench.Client {
+	return func(pairs []graph.Edge) error {
+		s := pairs[0].U
+		resp, err := httpc.Get(fmt.Sprintf("%s/reach/count?s=%d", base, s))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("count status %d", resp.StatusCode)
+		}
+		var body struct {
+			Count int `json:"count"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			return err
+		}
+		if oracle != nil {
+			if want := oracle.ReachableSetSize(s); body.Count != want {
+				return fmt.Errorf("count(%d): server says %d, index says %d", s, body.Count, want)
+			}
+		}
+		return nil
+	}
+}
+
+// joinClient POSTs each batch's deduplicated sources×targets
+// cross-product to /reach/join and consumes the NDJSON stream. The
+// protocol itself is always checked — strictly ascending (s, t)
+// pairs, a terminal done line whose count matches the pairs received,
+// a scanned tally equal to the cross product — and with an oracle the
+// result set is checked to be exactly the reachable subset.
+func joinClient(httpc *http.Client, base string, oracle *reachlab.Index) bench.Client {
+	return func(pairs []graph.Edge) error {
+		sources := make([]int64, 0, len(pairs))
+		targets := make([]int64, 0, len(pairs))
+		for _, p := range pairs {
+			sources = append(sources, int64(p.U))
+			targets = append(targets, int64(p.V))
+		}
+		sources, targets = dedupSort(sources), dedupSort(targets)
+		raw, err := json.Marshal(struct {
+			Sources []int64 `json:"sources"`
+			Targets []int64 `json:"targets"`
+		}{Sources: sources, Targets: targets})
+		if err != nil {
+			return err
+		}
+		resp, err := httpc.Post(base+"/reach/join", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("join status %d", resp.StatusCode)
+		}
+		var (
+			sc        = bufio.NewScanner(resp.Body)
+			got       = 0
+			lastS     = int64(-1)
+			lastT     = int64(-1)
+			done      = false
+			doneCount = 0
+			doneScan  = 0
+		)
+		for sc.Scan() {
+			if done {
+				return fmt.Errorf("join: line after the done line")
+			}
+			var line struct {
+				S       *int64 `json:"s"`
+				T       *int64 `json:"t"`
+				Done    bool   `json:"done"`
+				Count   int    `json:"count"`
+				Scanned int    `json:"scanned"`
+			}
+			if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+				return fmt.Errorf("join: bad line %q: %w", sc.Text(), err)
+			}
+			if line.Done {
+				done, doneCount, doneScan = true, line.Count, line.Scanned
+				continue
+			}
+			if line.S == nil || line.T == nil {
+				return fmt.Errorf("join: line %q is neither a pair nor done", sc.Text())
+			}
+			if *line.S < lastS || (*line.S == lastS && *line.T <= lastT) {
+				return fmt.Errorf("join: pair (%d,%d) not in ascending order after (%d,%d)", *line.S, *line.T, lastS, lastT)
+			}
+			lastS, lastT = *line.S, *line.T
+			if oracle != nil && !oracle.Reachable(graph.VertexID(*line.S), graph.VertexID(*line.T)) {
+				return fmt.Errorf("join: pair (%d,%d) is not reachable in the index", *line.S, *line.T)
+			}
+			got++
+		}
+		if err := sc.Err(); err != nil {
+			return err
+		}
+		if !done {
+			return fmt.Errorf("join: stream ended without a done line (%d pairs in)", got)
+		}
+		if doneCount != got {
+			return fmt.Errorf("join: done line says %d pairs, stream carried %d", doneCount, got)
+		}
+		if doneScan != len(sources)*len(targets) {
+			return fmt.Errorf("join: scanned %d, cross product is %d×%d", doneScan, len(sources), len(targets))
+		}
+		if oracle != nil {
+			want := 0
+			for _, s := range sources {
+				tv := make([]graph.VertexID, len(targets))
+				for i, t := range targets {
+					tv[i] = graph.VertexID(t)
+				}
+				for _, ok := range oracle.ReachableFrom(graph.VertexID(s), tv) {
+					if ok {
+						want++
+					}
+				}
+			}
+			// Every streamed pair is reachable and distinct (ascending
+			// order), so matching cardinality means matching sets.
+			if got != want {
+				return fmt.Errorf("join: %d pairs streamed, index says the join has %d", got, want)
+			}
+		}
+		return nil
+	}
+}
+
+// dedupSort sorts vs ascending and removes duplicates.
+func dedupSort(vs []int64) []int64 {
+	slices.Sort(vs)
+	return slices.Compact(vs)
 }
 
 func loadIndex(path string) *reachlab.Index {

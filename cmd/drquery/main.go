@@ -7,6 +7,14 @@
 //	drquery -idx graph.idx 3 17 5 99        # pairs on the command line
 //	echo "3 17" | drquery -idx graph.idx -  # pairs from stdin
 //	drquery -idx graph.idx -bench 1000000   # mean random-query latency
+//
+// Rich verbs: -count reports reachable-set sizes for single vertices,
+// and -path reconstructs a witness path per pair — paths walk real
+// edges, so -path additionally needs the -graph edge list the index
+// was built from:
+//
+//	drquery -idx graph.idx -count 3 17
+//	drquery -idx graph.idx -graph graph.txt -path 3 17
 package main
 
 import (
@@ -23,13 +31,19 @@ import (
 
 func main() {
 	var (
-		idxPath = flag.String("idx", "", "index file written by drlabel (required)")
-		bench   = flag.Int("bench", 0, "run this many random queries and report the mean latency")
-		seed    = flag.Int64("seed", 1, "random query seed for -bench")
+		idxPath   = flag.String("idx", "", "index file written by drlabel (required)")
+		graphPath = flag.String("graph", "", "edge list the index was built from (required by -path)")
+		bench     = flag.Int("bench", 0, "run this many random queries and report the mean latency")
+		seed      = flag.Int64("seed", 1, "random query seed for -bench")
+		doCount   = flag.Bool("count", false, "treat each argument as one source and report its reachable-set size")
+		doPath    = flag.Bool("path", false, "reconstruct a witness path per pair (needs -graph)")
 	)
 	flag.Parse()
 	if *idxPath == "" {
 		fatal(fmt.Errorf("missing -idx"))
+	}
+	if *doCount && *doPath {
+		fatal(fmt.Errorf("-count and -path are mutually exclusive"))
 	}
 	f, err := os.Open(*idxPath)
 	if err != nil {
@@ -40,10 +54,40 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *graphPath != "" {
+		g, err := reachlab.LoadGraph(*graphPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := idx.AttachGraph(g); err != nil {
+			fatal(err)
+		}
+	}
+	if *doPath && !idx.HasGraph() {
+		fatal(fmt.Errorf("-path needs the edge list: pass -graph"))
+	}
 	n := idx.NumVertices()
 	fmt.Fprintf(os.Stderr, "index covers %d vertices\n", n)
 	if n == 0 {
 		fatal(fmt.Errorf("index is empty"))
+	}
+
+	if *doCount {
+		if len(flag.Args()) == 0 {
+			fatal(fmt.Errorf("-count needs source vertices"))
+		}
+		for _, a := range flag.Args() {
+			s, err := strconv.Atoi(a)
+			if err != nil {
+				fatal(err)
+			}
+			if s < 0 || s >= n {
+				fmt.Printf("|reach(%d)| = out of range\n", s)
+				continue
+			}
+			fmt.Printf("|reach(%d)| = %d\n", s, idx.ReachableSetSize(reachlab.VertexID(s)))
+		}
+		return
 	}
 
 	if *bench > 0 {
@@ -77,7 +121,7 @@ func main() {
 			if _, err := fmt.Sscan(sc.Text(), &s, &t); err != nil {
 				fatal(fmt.Errorf("bad query line %q: %w", sc.Text(), err))
 			}
-			answer(idx, s, t, n)
+			answer(idx, s, t, n, *doPath)
 		}
 		if err := sc.Err(); err != nil {
 			fatal(err)
@@ -96,13 +140,29 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		answer(idx, s, t, n)
+		answer(idx, s, t, n, *doPath)
 	}
 }
 
-func answer(idx *reachlab.Index, s, t, n int) {
+func answer(idx *reachlab.Index, s, t, n int, withPath bool) {
 	if s < 0 || s >= n || t < 0 || t >= n {
 		fmt.Printf("q(%d,%d) = out of range\n", s, t)
+		return
+	}
+	if withPath {
+		path, err := idx.WitnessPath(reachlab.VertexID(s), reachlab.VertexID(t))
+		if err != nil {
+			fatal(err)
+		}
+		if path == nil {
+			fmt.Printf("path(%d,%d) = unreachable\n", s, t)
+			return
+		}
+		fmt.Printf("path(%d,%d) =", s, t)
+		for _, v := range path {
+			fmt.Printf(" %d", v)
+		}
+		fmt.Printf("  (%d hops)\n", len(path)-1)
 		return
 	}
 	fmt.Printf("q(%d,%d) = %v\n", s, t, idx.Reachable(reachlab.VertexID(s), reachlab.VertexID(t)))

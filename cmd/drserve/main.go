@@ -14,6 +14,18 @@
 //	curl -d '{"pairs":[[3,17],[5,9]]}' 'localhost:8080/reach/batch'
 //	curl 'localhost:8080/stats'
 //
+// Rich queries (DESIGN.md §15): /reach/count and /reach/from amortize
+// one out-label scan across many targets, /reach/join streams the
+// reachable pairs of sources×targets as NDJSON, and /reach/path
+// reconstructs a concrete witness path — the latter needs the edge
+// list, so pass -graph alongside -idx to enable it:
+//
+//	drserve -idx graph.idx -graph graph.txt
+//	curl 'localhost:8080/reach/path?s=3&t=17'
+//	curl 'localhost:8080/reach/count?s=3'
+//	curl -d '{"s":3,"targets":[17,41,99]}' 'localhost:8080/reach/from'
+//	curl -d '{"sources":[3,5],"targets":[17,41]}' 'localhost:8080/reach/join'
+//
 //	# Rebuild the index elsewhere, then swap it in without dropping
 //	# a query (epoch advances; confirm via /stats index_epoch):
 //	curl -X POST 'localhost:8080/admin/reload'                 # re-read -idx
@@ -67,10 +79,11 @@ func main() {
 		listen   = flag.String("listen", "127.0.0.1:8080", "address to listen on")
 		cache    = flag.Int("cache", 1<<20, "hot-pair cache capacity in entries (0 disables)")
 		shards   = flag.Int("cache-shards", 64, "hot-pair cache shard count")
-		maxBatch = flag.Int("max-batch", reachlab.DefaultMaxBatch, "maximum pairs per /reach/batch request")
+		maxBatch = flag.Int("max-batch", reachlab.DefaultMaxBatch, "maximum pairs per /reach/batch request and entries per /reach/from and /reach/join list")
+		maxJoin  = flag.Int("max-join", reachlab.DefaultMaxJoin, "maximum scanned cross product |sources|×|targets| per /reach/join request")
 		grace    = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight queries")
 
-		graphPath    = flag.String("graph", "", "text edge list: enables update mode (POST /edges mutations, requires -wal)")
+		graphPath    = flag.String("graph", "", "text edge list: with -wal, update mode; with -budget, bounded static mode; with -idx, enables /reach/path witness paths")
 		walPath      = flag.String("wal", "", "write-ahead edge log path (update mode; created if missing, replayed if present)")
 		refreshEvery = flag.Duration("refresh-every", reachlab.DefaultRefreshEvery, "update mode: interval between refresh swaps")
 		refreshBatch = flag.Int("refresh-batch", reachlab.DefaultRefreshBatch, "update mode: max log records applied per refresh swap")
@@ -119,14 +132,12 @@ func main() {
 			CachePairs:  *cache,
 			CacheShards: *shards,
 			MaxBatch:    *maxBatch,
+			MaxJoin:     *maxJoin,
 		})
 
-	case *graphPath != "":
-		if *walPath == "" {
-			fatal(fmt.Errorf("-graph requires -wal (or -budget for the static memory-bounded mode)"))
-		}
+	case *graphPath != "" && *walPath != "":
 		if *idxPath != "" {
-			fatal(fmt.Errorf("-graph and -idx are mutually exclusive (update mode serves the maintained snapshot)"))
+			fatal(fmt.Errorf("-wal and -idx are mutually exclusive (update mode serves the maintained snapshot)"))
 		}
 		f, err := os.Open(*graphPath)
 		if err != nil {
@@ -159,11 +170,23 @@ func main() {
 			CachePairs:  *cache,
 			CacheShards: *shards,
 			MaxBatch:    *maxBatch,
+			MaxJoin:     *maxJoin,
 		})
 		handler.EnableUpdates(updater)
 		updater.Start(handler)
 
 	case *idxPath != "":
+		// Optional -graph alongside -idx attaches the edge list the
+		// index was built from, enabling /reach/path (witness paths
+		// need edges to walk; the serialized index carries only labels).
+		var pathGraph *reachlab.Graph
+		if *graphPath != "" {
+			g, err := reachlab.LoadGraph(*graphPath)
+			if err != nil {
+				fatal(err)
+			}
+			pathGraph = g
+		}
 		loader := func(ref string) (*reachlab.Index, error) {
 			path := ref
 			if path == "" {
@@ -174,22 +197,39 @@ func main() {
 				return nil, err
 			}
 			defer f.Close()
-			return reachlab.ReadIndex(f)
+			idx, err := reachlab.ReadIndex(f)
+			if err != nil {
+				return nil, err
+			}
+			if pathGraph != nil {
+				if err := idx.AttachGraph(pathGraph); err != nil {
+					return nil, fmt.Errorf("attaching -graph to %s: %w", path, err)
+				}
+			}
+			return idx, nil
 		}
 		idx, err := loader("")
 		if err != nil {
 			fatal(err)
 		}
 		st := idx.Stats()
-		fmt.Printf("serving %d vertices (%.2f MB index, %d cache slots) on %s (metrics at /metrics, profiles at /debug/pprof/)\n",
-			idx.NumVertices(), float64(st.Bytes)/(1<<20), *cache, *listen)
+		paths := "disabled (no -graph)"
+		if idx.HasGraph() {
+			paths = "enabled"
+		}
+		fmt.Printf("serving %d vertices (%.2f MB index, %d cache slots, witness paths %s) on %s (metrics at /metrics, profiles at /debug/pprof/)\n",
+			idx.NumVertices(), float64(st.Bytes)/(1<<20), *cache, paths, *listen)
 		handler = reachlab.NewQueryHandlerOpts(idx, reachlab.ServeOptions{
 			Obs:         reachlab.DefaultMetrics(),
 			CachePairs:  *cache,
 			CacheShards: *shards,
 			MaxBatch:    *maxBatch,
+			MaxJoin:     *maxJoin,
 			Loader:      loader,
 		})
+
+	case *graphPath != "":
+		fatal(fmt.Errorf("-graph alone is ambiguous: add -wal (update mode), -budget (bounded static mode), or -idx (witness paths over a static index)"))
 
 	default:
 		fatal(fmt.Errorf("missing -idx (static mode) or -graph/-wal (update mode)"))

@@ -217,3 +217,23 @@ func PrintScale(w io.Writer, rec *ScaleRecord) {
 	}
 	flushTab(tw)
 }
+
+// PrintQueryWorkload renders a drbench -exp query record: the
+// deterministic aggregates benchcompare gates, then the informational
+// phase timings.
+func PrintQueryWorkload(w io.Writer, rec *QueryWorkloadRecord) {
+	fmt.Fprintf(w, "family=%s n=%d deg=%.1f seed=%d edges=%d\n",
+		rec.Family, rec.N, rec.AvgDegree, rec.Seed, rec.Edges)
+	fmt.Fprintf(w, "path:  %d/%d pairs reachable, %d total hops\n",
+		rec.ReachablePairs, rec.PairSamples, rec.PathHops)
+	fmt.Fprintf(w, "count: %d sources, %d reachable vertices total\n",
+		rec.CountSources, rec.ReachableSum)
+	fmt.Fprintf(w, "join:  %d×%d cross-product, %d reachable pairs\n",
+		rec.JoinSources, rec.JoinTargets, rec.JoinPairs)
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Phase\tSeconds")
+	for _, ph := range rec.Phases {
+		fmt.Fprintf(tw, "%s\t%.3f\n", ph.Phase, ph.MedianSeconds)
+	}
+	flushTab(tw)
+}

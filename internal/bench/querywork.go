@@ -1,0 +1,212 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// The query workload measures the rich read path on a frozen index —
+// witness paths, one-source sweeps, set cardinalities, and a
+// reachability join — over a deterministically generated graph. Every
+// answer is a pure function of (family, n, deg, seed) and the code, so
+// the aggregate counts are gated exactly by benchcompare; only the
+// phase timings are informational (this bench host sees double-digit
+// CPU steal). The workload also cross-checks itself: a witness path
+// that contradicts the boolean answer, or a sweep row that disagrees
+// with per-pair queries, fails the run instead of producing a record.
+
+// QueryWorkloadParams configures RunQueryWorkload. The generator
+// parameters identify the graph; the sample sizes shape the workload.
+type QueryWorkloadParams struct {
+	Family    string
+	N         int
+	AvgDegree float64
+	Seed      int64
+	// PairSamples is the number of zipf-sampled (s, t) pairs answered
+	// with a witness path (default 20000).
+	PairSamples int
+	// CountSources is the number of sources whose reachable-set size
+	// is summed (default 256).
+	CountSources int
+	// JoinSources × JoinTargets is the join cross-product (defaults
+	// 64 × 64).
+	JoinSources int
+	JoinTargets int
+}
+
+// QueryWorkloadOps are the index operations the workload drives,
+// passed as function values so this package stays independent of the
+// public index type (the root package's white-box tests import bench,
+// so bench importing the root back would cycle).
+type QueryWorkloadOps struct {
+	Vertices  int
+	Edges     int64
+	Reachable func(s, t graph.VertexID) bool
+	Path      func(s, t graph.VertexID) ([]graph.VertexID, error)
+	SetSize   func(s graph.VertexID) int
+	Sweep     func(s graph.VertexID, targets []graph.VertexID) []bool
+}
+
+// QueryWorkloadRecord is the serializable result of one query
+// workload. Everything above Phases is fully determined by the
+// parameters and the code — benchcompare fails when any of it moves.
+// PathHops is deterministic because witness paths are shortest paths
+// (the guided BFS prunes branches, never reorders levels), so each
+// pair contributes exactly its BFS distance.
+type QueryWorkloadRecord struct {
+	Family    string  `json:"family"`
+	N         int     `json:"n"`
+	AvgDegree float64 `json:"avg_degree"`
+	Seed      int64   `json:"seed"`
+
+	Edges          int64 `json:"edges"`
+	PairSamples    int   `json:"pair_samples"`
+	ReachablePairs int   `json:"reachable_pairs"`
+	PathHops       int64 `json:"path_hops"`
+	CountSources   int   `json:"count_sources"`
+	ReachableSum   int64 `json:"reachable_sum"`
+	JoinSources    int   `json:"join_sources"`
+	JoinTargets    int   `json:"join_targets"`
+	JoinPairs      int   `json:"join_pairs"`
+
+	Phases []ScalePhase `json:"phases"`
+}
+
+// RunQueryWorkload drives the three rich-query workloads and returns
+// their aggregate counts. It returns an error (rather than a record)
+// when any cross-check fails — that is a correctness bug in the index,
+// not a measurement.
+func RunQueryWorkload(p QueryWorkloadParams, ops QueryWorkloadOps, progress func(string)) (*QueryWorkloadRecord, error) {
+	if ops.Vertices <= 0 {
+		return nil, fmt.Errorf("bench: query workload needs a non-empty index")
+	}
+	if p.PairSamples <= 0 {
+		p.PairSamples = 20000
+	}
+	if p.CountSources <= 0 {
+		p.CountSources = 256
+	}
+	if p.JoinSources <= 0 {
+		p.JoinSources = 64
+	}
+	if p.JoinTargets <= 0 {
+		p.JoinTargets = 64
+	}
+	rec := &QueryWorkloadRecord{
+		Family: p.Family, N: p.N, AvgDegree: p.AvgDegree, Seed: p.Seed,
+		Edges:        ops.Edges,
+		PairSamples:  p.PairSamples,
+		CountSources: p.CountSources,
+		JoinSources:  p.JoinSources,
+		JoinTargets:  p.JoinTargets,
+	}
+	pairs := ZipfPairs(ops.Vertices, p.PairSamples, 1.1, p.Seed)
+
+	// Witness paths: every sampled pair, boolean answer cross-checked
+	// against the path's existence.
+	phase, err := timed("path", 1, func() error {
+		rec.ReachablePairs, rec.PathHops = 0, 0
+		for _, pr := range pairs {
+			want := ops.Reachable(pr.U, pr.V)
+			path, err := ops.Path(pr.U, pr.V)
+			if err != nil {
+				return fmt.Errorf("bench: path(%d,%d): %w", pr.U, pr.V, err)
+			}
+			if (path != nil) != want {
+				return fmt.Errorf("bench: path(%d,%d) is %v but reachable=%v", pr.U, pr.V, path, want)
+			}
+			if want {
+				rec.ReachablePairs++
+				rec.PathHops += int64(len(path) - 1)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rec.Phases = append(rec.Phases, phase)
+	report(progress, "query path: %d/%d pairs reachable, %d total hops, %.3fs",
+		rec.ReachablePairs, p.PairSamples, rec.PathHops, phase.MedianSeconds)
+
+	// Set sizes: the first CountSources sampled sources, with every
+	// 16th size cross-checked against a full-row sweep popcount.
+	all := make([]graph.VertexID, ops.Vertices)
+	for i := range all {
+		all[i] = graph.VertexID(i)
+	}
+	phase, err = timed("count", 1, func() error {
+		rec.ReachableSum = 0
+		for i := 0; i < p.CountSources; i++ {
+			s := pairs[i%len(pairs)].U
+			size := ops.SetSize(s)
+			if i%16 == 0 {
+				pop := 0
+				for _, ok := range ops.Sweep(s, all) {
+					if ok {
+						pop++
+					}
+				}
+				if pop != size {
+					return fmt.Errorf("bench: |reach(%d)| = %d but the full sweep says %d", s, size, pop)
+				}
+			}
+			rec.ReachableSum += int64(size)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rec.Phases = append(rec.Phases, phase)
+	report(progress, "query count: %d sources sum to %d reachable vertices, %.3fs",
+		p.CountSources, rec.ReachableSum, phase.MedianSeconds)
+
+	// Join: the sampled sources × sampled targets cross-product via
+	// per-source sweeps, cross-checked pair by pair.
+	sources := distinctFirst(pairs, p.JoinSources, func(e graph.Edge) graph.VertexID { return e.U })
+	targets := distinctFirst(pairs, p.JoinTargets, func(e graph.Edge) graph.VertexID { return e.V })
+	rec.JoinSources, rec.JoinTargets = len(sources), len(targets)
+	phase, err = timed("join", 1, func() error {
+		rec.JoinPairs = 0
+		for _, s := range sources {
+			row := ops.Sweep(s, targets)
+			for i, ok := range row {
+				if ok != ops.Reachable(s, targets[i]) {
+					return fmt.Errorf("bench: join sweep(%d,%d) = %v but Reachable disagrees", s, targets[i], ok)
+				}
+				if ok {
+					rec.JoinPairs++
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rec.Phases = append(rec.Phases, phase)
+	report(progress, "query join: %d×%d cross-product has %d reachable pairs, %.3fs",
+		len(sources), len(targets), rec.JoinPairs, phase.MedianSeconds)
+	return rec, nil
+}
+
+// distinctFirst returns the first k distinct vertices pick() yields
+// over pairs, in first-seen order — deterministic for a fixed sample.
+func distinctFirst(pairs []graph.Edge, k int, pick func(graph.Edge) graph.VertexID) []graph.VertexID {
+	seen := make(map[graph.VertexID]bool, k)
+	out := make([]graph.VertexID, 0, k)
+	for _, e := range pairs {
+		v := pick(e)
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		out = append(out, v)
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}

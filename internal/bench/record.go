@@ -23,6 +23,9 @@ type RunRecord struct {
 	// Scale is set by drbench -exp scale runs (one build-path
 	// measurement instead of per-dataset algorithm profiles).
 	Scale *ScaleRecord `json:"scale,omitempty"`
+	// QueryWorkload is set by drbench -exp query runs (the rich-query
+	// workload's deterministic aggregates, gated exactly).
+	QueryWorkload *QueryWorkloadRecord `json:"query_workload,omitempty"`
 }
 
 // DatasetRecord collects the per-algorithm measurements of one graph.

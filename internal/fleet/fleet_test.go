@@ -24,7 +24,9 @@ type fakeReplica struct {
 
 	mu         sync.Mutex
 	served     [][2]int64 // every pair answered, in arrival order
+	sources    []int64    // every rich-query source answered (path/count/from/join)
 	batchCalls int
+	joinCalls  int
 
 	edgeOps []string // "insert(3,17)" per accepted mutation
 	edgeSeq uint64
@@ -48,6 +50,24 @@ func (f *fakeReplica) servedPairs() [][2]int64 {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return append([][2]int64(nil), f.served...)
+}
+
+func (f *fakeReplica) servedSources() []int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]int64(nil), f.sources...)
+}
+
+// fakeCount is the deterministic reachable-set size every fake
+// replica agrees on: the row count of fakeAnswer over the ID space.
+func (f *fakeReplica) fakeCount(s int64) int {
+	c := 0
+	for t := int64(0); t < int64(f.vertices); t++ {
+		if fakeAnswer(s, t) {
+			c++
+		}
+	}
+	return c
 }
 
 func (f *fakeReplica) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -102,6 +122,113 @@ func (f *fakeReplica) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// The client may have hung up mid-test; a short write here is
 		// its problem, not the fake replica's.
 		_ = json.NewEncoder(w).Encode(map[string]any{"count": len(results), "results": results})
+	case r.Method == http.MethodGet && r.URL.Path == "/reach/path":
+		if f.failReach.Load() {
+			http.Error(w, "injected failure", http.StatusInternalServerError)
+			return
+		}
+		s, err1 := strconv.ParseInt(r.URL.Query().Get("s"), 10, 64)
+		t, err2 := strconv.ParseInt(r.URL.Query().Get("t"), 10, 64)
+		if err1 != nil || err2 != nil || s < 0 || t < 0 || s >= int64(f.vertices) || t >= int64(f.vertices) {
+			http.Error(w, "bad pair", http.StatusBadRequest)
+			return
+		}
+		f.mu.Lock()
+		f.sources = append(f.sources, s)
+		f.mu.Unlock()
+		w.Header().Set("X-Reachlab-Epoch", strconv.FormatUint(f.epoch.Load(), 10))
+		w.Header().Set("Content-Type", "application/json")
+		if fakeAnswer(s, t) {
+			fmt.Fprintf(w, `{"s":%d,"t":%d,"reachable":true,"path":[%d,%d]}`+"\n", s, t, s, t)
+		} else {
+			fmt.Fprintf(w, `{"s":%d,"t":%d,"reachable":false}`+"\n", s, t)
+		}
+	case r.Method == http.MethodGet && r.URL.Path == "/reach/count":
+		if f.failReach.Load() {
+			http.Error(w, "injected failure", http.StatusInternalServerError)
+			return
+		}
+		s, err := strconv.ParseInt(r.URL.Query().Get("s"), 10, 64)
+		if err != nil || s < 0 || s >= int64(f.vertices) {
+			http.Error(w, "bad source", http.StatusBadRequest)
+			return
+		}
+		f.mu.Lock()
+		f.sources = append(f.sources, s)
+		f.mu.Unlock()
+		w.Header().Set("X-Reachlab-Epoch", strconv.FormatUint(f.epoch.Load(), 10))
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"s":%d,"count":%d}`+"\n", s, f.fakeCount(s))
+	case r.Method == http.MethodPost && r.URL.Path == "/reach/from":
+		if f.failReach.Load() {
+			http.Error(w, "injected failure", http.StatusInternalServerError)
+			return
+		}
+		var req struct {
+			S       int64   `json:"s"`
+			Targets []int64 `json:"targets"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if req.S < 0 || req.S >= int64(f.vertices) {
+			http.Error(w, "bad source", http.StatusBadRequest)
+			return
+		}
+		f.mu.Lock()
+		f.sources = append(f.sources, req.S)
+		f.mu.Unlock()
+		results := make([]bool, len(req.Targets))
+		count := 0
+		for i, t := range req.Targets {
+			results[i] = fakeAnswer(req.S, t)
+			if results[i] {
+				count++
+			}
+		}
+		w.Header().Set("X-Reachlab-Epoch", strconv.FormatUint(f.epoch.Load(), 10))
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{"s": req.S, "count": count, "results": results})
+	case r.Method == http.MethodPost && r.URL.Path == "/reach/join":
+		if f.failReach.Load() {
+			http.Error(w, "injected failure", http.StatusInternalServerError)
+			return
+		}
+		var req struct {
+			Sources []int64 `json:"sources"`
+			Targets []int64 `json:"targets"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		for _, v := range append(append([]int64(nil), req.Sources...), req.Targets...) {
+			if v < 0 || v >= int64(f.vertices) {
+				http.Error(w, "bad vertex", http.StatusBadRequest)
+				return
+			}
+		}
+		// Mirror the real replica: dedup + sort both lists, stream the
+		// reachable pairs in (s, t) order, end with the summary line.
+		srcs := dedupSorted(req.Sources)
+		tgts := dedupSorted(req.Targets)
+		f.mu.Lock()
+		f.joinCalls++
+		f.sources = append(f.sources, srcs...)
+		f.mu.Unlock()
+		w.Header().Set("X-Reachlab-Epoch", strconv.FormatUint(f.epoch.Load(), 10))
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		count := 0
+		for _, s := range srcs {
+			for _, t := range tgts {
+				if fakeAnswer(s, t) {
+					count++
+					fmt.Fprintf(w, `{"s":%d,"t":%d}`+"\n", s, t)
+				}
+			}
+		}
+		fmt.Fprintf(w, `{"done":true,"count":%d,"scanned":%d}`+"\n", count, len(srcs)*len(tgts))
 	case r.Method == http.MethodPost && r.URL.Path == "/edges":
 		if f.failEdges.Load() {
 			http.Error(w, "injected failure", http.StatusInternalServerError)

@@ -24,6 +24,10 @@ import (
 //
 //	GET  /reach?s=&t=                → proxied single query
 //	POST /reach/batch                → split/merged batch query
+//	GET  /reach/path?s=&t=           → proxied witness-path query (by source)
+//	GET  /reach/count?s=             → proxied reachable-set-size query (by source)
+//	POST /reach/from                 → proxied one-source sweep (by source)
+//	POST /reach/join                 → per-shard split/merged NDJSON join
 //	GET  /stats                      → {"vertices":N,"mode":...,"healthy":K,"replicas":[...]}
 //	GET  /healthz                    → 200 while ≥1 replica is up
 //	POST /edges                      → fan one edge mutation to every replica
@@ -36,6 +40,10 @@ func (f *Fleet) initMux() {
 	f.mux = http.NewServeMux()
 	f.mux.HandleFunc("GET /reach", f.handleReach)
 	f.mux.HandleFunc("POST /reach/batch", f.handleBatch)
+	f.mux.HandleFunc("GET /reach/path", f.handlePath)
+	f.mux.HandleFunc("GET /reach/count", f.handleCount)
+	f.mux.HandleFunc("POST /reach/from", f.handleFrom)
+	f.mux.HandleFunc("POST /reach/join", f.handleJoin)
 	f.mux.HandleFunc("POST /edges", f.handleEdges)
 	f.mux.HandleFunc("GET /stats", f.handleStats)
 	f.mux.HandleFunc("GET /healthz", f.handleHealthz)

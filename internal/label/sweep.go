@@ -1,0 +1,177 @@
+package label
+
+import (
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// One-source sweeps: ReachableFrom and ReachableSetSize amortize the
+// out-label load the way ReachableBatch amortizes sorting. A pairwise
+// loop pays O(|L_out(s)| + |L_in(t)|) per target; the sweep marks
+// L_out(s)'s ranks into an epoch-stamped scratch table once and then
+// answers each target with a single scan of L_in(t) — the out side is
+// read exactly once no matter how many targets follow.
+
+// sweepScratch is the rank-mark table of one sweep, epoch-stamped so
+// pool reuse costs no clearing: rank r is marked iff mark[r] == epoch.
+type sweepScratch struct {
+	mark  []int32
+	epoch int32
+}
+
+// sweepPool recycles scratch tables across sweeps and goroutines. The
+// tables are sized to the largest rank space seen; a sweep over a
+// bigger index allocates afresh and the old table is dropped.
+var sweepPool sync.Pool
+
+// getSweep returns a scratch table covering n ranks with a fresh
+// epoch. Callers must return it with sweepPool.Put when done.
+func getSweep(n int) *sweepScratch {
+	sc, _ := sweepPool.Get().(*sweepScratch)
+	if sc == nil || len(sc.mark) < n {
+		sc = &sweepScratch{mark: make([]int32, n)}
+	}
+	sc.epoch++
+	if sc.epoch == 0 { // wrapped: marks are stale, reset once
+		clear(sc.mark)
+		sc.epoch = 1
+	}
+	return sc
+}
+
+// markOut stamps every rank of L_out(s) into the scratch table.
+func (x *Index) markOut(sc *sweepScratch, s graph.VertexID) {
+	for _, r := range x.OutLabels(s) {
+		sc.mark[r] = sc.epoch
+	}
+}
+
+// hitIn reports whether any rank of L_in(t) is stamped — exactly the
+// L_out(s) ∩ L_in(t) ≠ ∅ test against the marked source.
+func (x *Index) hitIn(sc *sweepScratch, t graph.VertexID) bool {
+	for _, r := range x.InLabels(t) {
+		if sc.mark[r] == sc.epoch {
+			return true
+		}
+	}
+	return false
+}
+
+// ReachableFrom answers q(s, t) for every target, identically to
+// calling Reachable(s, t) per target, in O(|L_out(s)| + Σ|L_in(t)|)
+// for the whole sweep: L_out(s) is loaded once into the mark table and
+// each target costs one scan of its in-label list.
+func (x *Index) ReachableFrom(s graph.VertexID, targets []graph.VertexID) []bool {
+	res := make([]bool, len(targets))
+	if len(targets) == 0 {
+		return res
+	}
+	sc := getSweep(x.n)
+	defer sweepPool.Put(sc)
+	x.markOut(sc, s)
+	for i, t := range targets {
+		res[i] = x.hitIn(sc, t)
+	}
+	return res
+}
+
+// ReachableSetSize returns |{t : q(s, t)}| over the whole ID space —
+// the one-source sweep with counting instead of materialization. The
+// answer equals the number of true bits ReachableFrom(s, allVertices)
+// would return.
+func (x *Index) ReachableSetSize(s graph.VertexID) int {
+	sc := getSweep(x.n)
+	defer sweepPool.Put(sc)
+	x.markOut(sc, s)
+	count := 0
+	for t := graph.VertexID(0); int(t) < x.n; t++ {
+		if x.hitIn(sc, t) {
+			count++
+		}
+	}
+	return count
+}
+
+// Budgeted sweeps. Capped labels make a bare mark-table miss
+// inconclusive, so the sweep splits by the completeness of L_out(s):
+//
+//   - L_out(s) complete: a label hit is a sound true, a miss against a
+//     complete L_in(t) is a sound false, and only targets whose
+//     in-label overflowed fall back to the pruned BFS.
+//   - L_out(s) overflowed: every miss would need a fallback, so the
+//     whole sweep collapses into one unpruned forward BFS from s —
+//     exact by construction and cheaper than per-target fallbacks.
+
+// descendants runs one unpruned forward BFS from s over the retained
+// graph, returning the scratch whose current epoch marks s and every
+// vertex it reaches. The caller must Put the scratch back.
+func (b *Budgeted) descendants(s graph.VertexID) *bfsScratch {
+	sc := b.scratch.Get().(*bfsScratch)
+	sc.epoch++
+	if sc.epoch == 0 { // wrapped: marks are stale, reset once
+		clear(sc.mark)
+		sc.epoch = 1
+	}
+	sc.mark[s] = sc.epoch
+	sc.queue = append(sc.queue[:0], s)
+	for head := 0; head < len(sc.queue); head++ {
+		for _, u := range b.g.OutNeighbors(sc.queue[head]) {
+			if sc.mark[u] != sc.epoch {
+				sc.mark[u] = sc.epoch
+				sc.queue = append(sc.queue, u)
+			}
+		}
+	}
+	return sc
+}
+
+// ReachableFrom answers q(s, t) for every target, identically to
+// calling Reachable(s, t) per target.
+func (b *Budgeted) ReachableFrom(s graph.VertexID, targets []graph.VertexID) []bool {
+	res := make([]bool, len(targets))
+	if len(targets) == 0 {
+		return res
+	}
+	if !b.outFull[s] {
+		sc := b.descendants(s)
+		defer b.scratch.Put(sc)
+		for i, t := range targets {
+			res[i] = sc.mark[t] == sc.epoch
+		}
+		return res
+	}
+	sc := getSweep(b.x.n)
+	defer sweepPool.Put(sc)
+	b.x.markOut(sc, s)
+	for i, t := range targets {
+		switch {
+		case t == s:
+			// Reflexivity before labels: s's own rank may be capped out.
+			res[i] = true
+		case b.x.hitIn(sc, t):
+			res[i] = true
+		case b.inFull[t]:
+			res[i] = false
+		default:
+			res[i] = b.fallbackBFS(s, t)
+		}
+	}
+	return res
+}
+
+// ReachableSetSize returns |{t : q(s, t)}|. One unpruned BFS from s is
+// exact regardless of which lists overflowed and costs O(n + m) total,
+// which beats a label sweep whose misses against overflowed in-labels
+// would each need their own fallback.
+func (b *Budgeted) ReachableSetSize(s graph.VertexID) int {
+	sc := b.descendants(s)
+	defer b.scratch.Put(sc)
+	count := 0
+	for v := range sc.mark {
+		if sc.mark[v] == sc.epoch {
+			count++
+		}
+	}
+	return count
+}

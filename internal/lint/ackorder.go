@@ -79,7 +79,8 @@ func checkAckOrder(pass *Pass, idx *pkgIndex, body *ast.BlockStmt) {
 // summary syncs.
 func syncPoint(pass *Pass, idx *pkgIndex, call *ast.CallExpr) token.Pos {
 	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && !isPackageQualifier(pass, sel.X) {
-		if sel.Sel.Name == "Sync" || sel.Sel.Name == "Flush" {
+		if sel.Sel.Name == "Sync" ||
+			(sel.Sel.Name == "Flush" && !isHTTPFlusher(pass.TypeOf(sel.X))) {
 			return call.Pos()
 		}
 	}

@@ -130,7 +130,11 @@ func directFacts(pass *Pass, body *ast.BlockStmt) *funcSummary {
 						s.joins = true
 					}
 				case "Sync", "Flush":
-					s.syncs = true
+					// http.Flusher.Flush pushes response bytes to the
+					// client — streaming, not durability.
+					if !isHTTPFlusher(pass.TypeOf(sel.X)) {
+						s.syncs = true
+					}
 				case "Load":
 					if obj := atomicLoadTarget(pass, x); obj != nil {
 						s.loads[obj] = true
@@ -220,6 +224,22 @@ func isAtomicBox(t types.Type) bool {
 }
 
 // isResponseWriter reports whether t is net/http.ResponseWriter.
+// isHTTPFlusher reports whether t is net/http.Flusher. Its Flush
+// pushes buffered response bytes toward the client — a streaming
+// progress signal, not a durability point — so it must not qualify a
+// function as durable-ack.
+func isHTTPFlusher(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Flusher" && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+}
+
 func isResponseWriter(t types.Type) bool {
 	if t == nil {
 		return false

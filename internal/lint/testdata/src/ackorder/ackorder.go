@@ -90,3 +90,30 @@ func writeDoc(w http.ResponseWriter) {
 func noSyncNoGate(acks chan<- uint64, r record) {
 	acks <- r.seq
 }
+
+// streamingFlush pushes NDJSON lines with http.Flusher: that Flush is
+// response streaming, not a durability sync, so the writes before it
+// are not acknowledgements of durable state and nothing is flagged.
+func streamingFlush(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusOK)
+	flusher, ok := w.(http.Flusher)
+	if _, err := w.Write([]byte("{\"s\":1}\n")); err != nil {
+		return
+	}
+	if ok {
+		flusher.Flush()
+	}
+}
+
+// streamingFlushThenSync mixes both: the real Sync makes the function
+// durable-ack, and the response writes before it are flagged even
+// though an http.Flusher flush sits earlier still.
+func streamingFlushThenSync(w http.ResponseWriter, f *os.File) {
+	w.WriteHeader(http.StatusOK) // want "HTTP response WriteHeader before the first Sync/Flush"
+	if flusher, ok := w.(http.Flusher); ok {
+		flusher.Flush()
+	}
+	if err := f.Sync(); err != nil {
+		return
+	}
+}

@@ -1,0 +1,158 @@
+package reachlab
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+)
+
+// Rich queries over the frozen index: witness-path reconstruction,
+// one-source sweeps, and reachable-set cardinality. The boolean
+// queries (ReachableFrom, ReachableSetSize) answer from the labels
+// alone; WitnessPath additionally needs the graph, which full builds
+// do not retain — AttachGraph supplies it.
+
+// ErrNoGraph is returned by WitnessPath when the index has no graph
+// to walk: the boolean answer needs only labels, but an actual path
+// is read off the edges.
+var ErrNoGraph = errors.New("reachlab: index has no attached graph (use AttachGraph)")
+
+// AttachGraph attaches the indexed graph so WitnessPath can
+// reconstruct actual paths. The graph must be the one the index was
+// built from (same vertex space; for a condensed index, the original
+// pre-condensation graph). Builds attach it automatically; an index
+// loaded with ReadIndex starts without one.
+func (x *Index) AttachGraph(g *Graph) error {
+	if g == nil {
+		return errors.New("reachlab: nil graph")
+	}
+	if g.NumVertices() != x.NumVertices() {
+		return fmt.Errorf("reachlab: graph has %d vertices, index covers %d",
+			g.NumVertices(), x.NumVertices())
+	}
+	x.g = g.d
+	return nil
+}
+
+// HasGraph reports whether WitnessPath can answer.
+func (x *Index) HasGraph() bool { return x.g != nil }
+
+// WitnessPath returns an actual s→t vertex path, or nil when t is not
+// reachable from s. The search is a guided BFS: a frontier vertex's
+// neighbor w is expanded only if Reachable(w, t) — the label
+// intersection prunes every branch that cannot reach t. Since every
+// vertex on every s→t path reaches t, all s→t paths survive the
+// pruning, so the BFS still finds a shortest path; the pruning only
+// removes dead branches. For a condensed index Reachable maps through
+// the component table, so the walk transparently threads through SCCs
+// of the original graph.
+//
+// The path is positions s..t inclusive; s == t yields [s]. The only
+// errors are ErrNoGraph and an attached graph that contradicts the
+// index (reachable by labels, no path by edges).
+func (x *Index) WitnessPath(s, t VertexID) ([]VertexID, error) {
+	if x.g == nil {
+		return nil, ErrNoGraph
+	}
+	if s == t {
+		return []VertexID{s}, nil
+	}
+	if !x.Reachable(s, t) {
+		return nil, nil
+	}
+	// parent doubles as the visited set: -1 unvisited, -2 pruned (its
+	// label test failed once; never re-test it from another parent).
+	parent := make([]int32, x.g.NumVertices())
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[s] = int32(s)
+	queue := append(make([]VertexID, 0, 64), s)
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, w := range x.g.OutNeighbors(v) {
+			if parent[w] != -1 {
+				continue
+			}
+			if w == t {
+				path := []VertexID{t, v}
+				for u := v; u != s; {
+					u = VertexID(parent[u])
+					path = append(path, u)
+				}
+				slices.Reverse(path)
+				return path, nil
+			}
+			if !x.Reachable(w, t) {
+				parent[w] = -2
+				continue
+			}
+			parent[w] = int32(v)
+			queue = append(queue, w)
+		}
+	}
+	return nil, fmt.Errorf("reachlab: index says %d reaches %d but the attached graph has no path (graph/index mismatch)", s, t)
+}
+
+// ReachableFrom answers q(s, t) for every target, identically to
+// calling Reachable per target, but loading L_out(s) once for the
+// whole sweep (see label.Index.ReachableFrom).
+func (x *Index) ReachableFrom(s VertexID, targets []VertexID) []bool {
+	if x.comp == nil {
+		if x.bidx != nil {
+			return x.bidx.ReachableFrom(s, targets)
+		}
+		return x.idx.ReachableFrom(s, targets)
+	}
+	// Condensed index: map endpoints through the component table;
+	// same-component targets are reachable without consulting labels.
+	cs := VertexID(x.comp[s])
+	res := make([]bool, len(targets))
+	sub := make([]VertexID, 0, len(targets))
+	subPos := make([]int, 0, len(targets))
+	for i, t := range targets {
+		ct := VertexID(x.comp[t])
+		if ct == cs {
+			res[i] = true
+			continue
+		}
+		sub = append(sub, ct)
+		subPos = append(subPos, i)
+	}
+	inner := x.idx.ReachableFrom
+	if x.bidx != nil {
+		inner = x.bidx.ReachableFrom
+	}
+	for k, ans := range inner(cs, sub) {
+		res[subPos[k]] = ans
+	}
+	return res
+}
+
+// ReachableSetSize returns |{t : q(s, t)}| over the original vertex
+// space — for a condensed index each component hit is weighted by the
+// number of original vertices it contains.
+func (x *Index) ReachableSetSize(s VertexID) int {
+	if x.comp == nil {
+		if x.bidx != nil {
+			return x.bidx.ReachableSetSize(s)
+		}
+		return x.idx.ReachableSetSize(s)
+	}
+	cs := VertexID(x.comp[s])
+	all := make([]VertexID, x.idx.NumVertices())
+	for i := range all {
+		all[i] = VertexID(i)
+	}
+	inner := x.idx.ReachableFrom
+	if x.bidx != nil {
+		inner = x.bidx.ReachableFrom
+	}
+	var total int64
+	for c, ok := range inner(cs, all) {
+		if ok {
+			total += x.compSize[c]
+		}
+	}
+	return int(total)
+}

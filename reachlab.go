@@ -143,10 +143,22 @@ type BuildStats struct {
 // exception — it retains the graph for fallback queries and cannot be
 // serialized.
 type Index struct {
-	idx   *label.Index
-	bidx  *label.Budgeted // non-nil for memory-bounded builds; retains the graph
-	comp  []int32         // optional SCC-condensation mapping
-	stats BuildStats
+	idx      *label.Index
+	bidx     *label.Budgeted // non-nil for memory-bounded builds; retains the graph
+	comp     []int32         // optional SCC-condensation mapping
+	compSize []int64         // per-component vertex counts (condensed only)
+	g        *graph.Digraph  // original graph, when available (witness paths)
+	stats    BuildStats
+}
+
+// compSizes tallies how many original vertices each condensation
+// component contains; ReachableSetSize weights component hits by it.
+func compSizes(comp []int32, nc int) []int64 {
+	sizes := make([]int64, nc)
+	for _, c := range comp {
+		sizes[c]++
+	}
+	return sizes
 }
 
 // Build constructs the reachability index for g. The context cancels
@@ -183,16 +195,21 @@ func Build(ctx context.Context, g *Graph, opts Options) (*Index, error) {
 			}
 			return nil, fmt.Errorf("reachlab: building budgeted index: %w", err)
 		}
-		return &Index{
+		x := &Index{
 			idx:  bidx.Index(),
 			bidx: bidx,
 			comp: comp,
+			g:    g.d,
 			stats: BuildStats{
 				Method:   MethodTOL,
 				Workers:  1,
 				WallTime: time.Since(start),
 			},
-		}, nil
+		}
+		if comp != nil {
+			x.compSize = compSizes(comp, x.idx.NumVertices())
+		}
+		return x, nil
 	}
 
 	var (
@@ -229,9 +246,10 @@ func Build(ctx context.Context, g *Graph, opts Options) (*Index, error) {
 		}
 		return nil, fmt.Errorf("reachlab: building index: %w", err)
 	}
-	return &Index{
+	x := &Index{
 		idx:  idx,
 		comp: comp,
+		g:    g.d,
 		stats: BuildStats{
 			Method:        method,
 			Workers:       opts.workers(),
@@ -247,7 +265,11 @@ func Build(ctx context.Context, g *Graph, opts Options) (*Index, error) {
 			Checkpoints:        met.Checkpoints,
 			LastCheckpointStep: met.LastCheckpointStep,
 		},
-	}, nil
+	}
+	if comp != nil {
+		x.compSize = compSizes(comp, x.idx.NumVertices())
+	}
+	return x, nil
 }
 
 // Reachable answers q(s, t) from the index alone: true iff there is a
@@ -427,6 +449,7 @@ func ReadIndex(r io.Reader) (*Index, error) {
 				return nil, errors.New("reachlab: corrupt component table")
 			}
 		}
+		x.compSize = compSizes(comp, nc)
 	}
 	return x, nil
 }

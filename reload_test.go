@@ -418,3 +418,233 @@ func TestReloadStatsAndErrors(t *testing.T) {
 		}
 	})
 }
+
+// richObservation is one rich-query answer tagged with the epoch that
+// served it: a witness path, a set-size count, or one one-source
+// sweep result.
+type richObservation struct {
+	kind  string // "path" | "count" | "from"
+	s, t  VertexID
+	ans   bool
+	count int
+	path  []VertexID
+	epoch uint64
+}
+
+// TestHotReloadRichQueriesMidBurst is the reload-correctness statement
+// for the rich endpoints: workers hammer /reach/path, /reach/count and
+// /reach/from while /admin/reload swaps the handler between two
+// different graphs, and every recorded answer must match the oracle of
+// the graph its epoch served — including every hop of every witness
+// path, which only exists in one of the two graphs' edge sets. The
+// update loop attaches the epoch's own graph at swap time, so a path
+// walked against the wrong epoch's index would produce phantom edges
+// and fail here.
+func TestHotReloadRichQueriesMidBurst(t *testing.T) {
+	fx := newReloadFixture(t)
+	idxA, err := Build(context.Background(), fx.graphA, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewQueryHandlerOpts(idxA, ServeOptions{
+		Obs:        NewMetricsRegistry(),
+		CachePairs: 512,
+		Loader:     fx.loader,
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	httpc := srv.Client()
+	n := fx.graphA.NumVertices()
+
+	const workers = 4
+	var (
+		wg   sync.WaitGroup
+		stop = make(chan struct{})
+		obsM sync.Mutex
+		seen []richObservation
+		errs []error
+	)
+	record := func(o richObservation, err error) {
+		obsM.Lock()
+		if err != nil {
+			errs = append(errs, err)
+		} else {
+			seen = append(seen, o)
+		}
+		obsM.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := VertexID((w*17 + i*7) % n)
+				u := VertexID((w*5 + i*13 + 1) % n)
+				switch i % 3 {
+				case 0:
+					record(askPath(httpc, srv.URL, s, u))
+				case 1:
+					record(askCount(httpc, srv.URL, s))
+				default:
+					record(askFrom(httpc, srv.URL, s, u))
+				}
+			}
+		}(w)
+	}
+
+	const swaps = 4
+	for k := 0; k < swaps; k++ {
+		time.Sleep(30 * time.Millisecond)
+		resp, err := httpc.Post(srv.URL+"/admin/reload", "application/json", bytes.NewReader(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("swap %d: status %d", k, resp.StatusCode)
+		}
+	}
+	time.Sleep(30 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if len(errs) > 0 {
+		t.Fatalf("%d failed rich requests during reload burst; first: %v", len(errs), errs[0])
+	}
+	if len(seen) == 0 {
+		t.Fatal("burst recorded no answers")
+	}
+
+	// Memoized per-graph oracles.
+	setSizes := map[*Graph]map[VertexID]int{}
+	edgeSets := map[*Graph]map[[2]VertexID]bool{}
+	oracleFor := func(g *Graph) (map[VertexID]int, map[[2]VertexID]bool) {
+		if _, ok := setSizes[g]; !ok {
+			sizes := map[VertexID]int{}
+			for s := 0; s < g.NumVertices(); s++ {
+				sizes[VertexID(s)] = oracleSetSize(g, VertexID(s))
+			}
+			setSizes[g] = sizes
+			edgeSets[g] = edgeSet(g)
+		}
+		return setSizes[g], edgeSets[g]
+	}
+
+	perEpoch := map[uint64]int{}
+	for _, o := range seen {
+		perEpoch[o.epoch]++
+		g := fx.graphForEpoch(o.epoch)
+		sizes, edges := oracleFor(g)
+		switch o.kind {
+		case "path":
+			want := g.ReachableBFS(o.s, o.t)
+			if o.ans != want {
+				t.Fatalf("epoch %d: path(%d,%d).reachable = %v, that epoch's graph says %v",
+					o.epoch, o.s, o.t, o.ans, want)
+			}
+			if !want {
+				continue
+			}
+			if len(o.path) == 0 || o.path[0] != o.s || o.path[len(o.path)-1] != o.t {
+				t.Fatalf("epoch %d: path(%d,%d) endpoints wrong: %v", o.epoch, o.s, o.t, o.path)
+			}
+			for i := 0; i+1 < len(o.path); i++ {
+				if !edges[[2]VertexID{o.path[i], o.path[i+1]}] {
+					t.Fatalf("epoch %d: path(%d,%d) hop %d→%d is not an edge of that epoch's graph: %v",
+						o.epoch, o.s, o.t, o.path[i], o.path[i+1], o.path)
+				}
+			}
+		case "count":
+			if o.count != sizes[o.s] {
+				t.Fatalf("epoch %d: count(%d) = %d, that epoch's graph says %d",
+					o.epoch, o.s, o.count, sizes[o.s])
+			}
+		case "from":
+			if want := g.ReachableBFS(o.s, o.t); o.ans != want {
+				t.Fatalf("epoch %d: from(%d)[%d] = %v, that epoch's graph says %v",
+					o.epoch, o.s, o.t, o.ans, want)
+			}
+		}
+	}
+	if len(perEpoch) < 2 {
+		t.Fatalf("burst only observed epochs %v; swaps did not interleave with traffic", perEpoch)
+	}
+}
+
+func askPath(httpc *http.Client, base string, s, u VertexID) (richObservation, error) {
+	resp, err := httpc.Get(fmt.Sprintf("%s/reach/path?s=%d&t=%d", base, s, u))
+	if err != nil {
+		return richObservation{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return richObservation{}, fmt.Errorf("path status %d", resp.StatusCode)
+	}
+	epoch, err := strconv.ParseUint(resp.Header.Get(EpochHeader), 10, 64)
+	if err != nil {
+		return richObservation{}, fmt.Errorf("bad %s header: %v", EpochHeader, err)
+	}
+	var body struct {
+		Reachable bool       `json:"reachable"`
+		Path      []VertexID `json:"path"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return richObservation{}, err
+	}
+	return richObservation{kind: "path", s: s, t: u, ans: body.Reachable, path: body.Path, epoch: epoch}, nil
+}
+
+func askCount(httpc *http.Client, base string, s VertexID) (richObservation, error) {
+	resp, err := httpc.Get(fmt.Sprintf("%s/reach/count?s=%d", base, s))
+	if err != nil {
+		return richObservation{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return richObservation{}, fmt.Errorf("count status %d", resp.StatusCode)
+	}
+	epoch, err := strconv.ParseUint(resp.Header.Get(EpochHeader), 10, 64)
+	if err != nil {
+		return richObservation{}, fmt.Errorf("bad %s header: %v", EpochHeader, err)
+	}
+	var body struct {
+		Count int `json:"count"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return richObservation{}, err
+	}
+	return richObservation{kind: "count", s: s, count: body.Count, epoch: epoch}, nil
+}
+
+// askFrom issues a one-target /reach/from so the observation stays a
+// single verifiable (s, t, ans, epoch) tuple.
+func askFrom(httpc *http.Client, base string, s, u VertexID) (richObservation, error) {
+	raw, _ := json.Marshal(map[string]any{"s": s, "targets": []VertexID{u}})
+	resp, err := httpc.Post(base+"/reach/from", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return richObservation{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return richObservation{}, fmt.Errorf("from status %d", resp.StatusCode)
+	}
+	epoch, err := strconv.ParseUint(resp.Header.Get(EpochHeader), 10, 64)
+	if err != nil {
+		return richObservation{}, fmt.Errorf("bad %s header: %v", EpochHeader, err)
+	}
+	var body struct {
+		Results []bool `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return richObservation{}, err
+	}
+	if len(body.Results) != 1 {
+		return richObservation{}, fmt.Errorf("from answered %d results for 1 target", len(body.Results))
+	}
+	return richObservation{kind: "from", s: s, t: u, ans: body.Results[0], epoch: epoch}, nil
+}

@@ -1,0 +1,76 @@
+#!/bin/sh
+# End-to-end rich-query smoke (make querytest, CI query-smoke job):
+# generate a graph, build its index, start drserve with the graph
+# attached (witness paths enabled), fire verified drload bursts at all
+# three rich endpoints — /reach/path, /reach/count, /reach/join — plus
+# spot-check the HTTP surface with curl, then regenerate the
+# deterministic query-workload record and gate it exactly against the
+# committed baseline with benchcompare. No timings are gated; every
+# compared number is a pure function of the generator seed and the
+# code.
+set -eu
+
+cd "$(dirname "$0")/.."
+work="$(mktemp -d)"
+addr=127.0.0.1:18521
+srv_pid=""
+cleanup() {
+	[ -n "$srv_pid" ] && kill "$srv_pid" 2>/dev/null || true
+	rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
+
+echo "== build tools"
+go build -o "$work/bin/" ./cmd/drgen ./cmd/drlabel ./cmd/drserve ./cmd/drload ./cmd/drbench ./cmd/benchcompare
+
+echo "== generate graph + index"
+"$work/bin/drgen" -family web -n 20000 -deg 6 -seed 7 -o "$work/graph.bin"
+"$work/bin/drlabel" -i "$work/graph.bin" -o "$work/graph.idx" -method drl-shared -workers 4
+
+echo "== start drserve with witness paths (-idx + -graph)"
+"$work/bin/drserve" -idx "$work/graph.idx" -graph "$work/graph.bin" -listen "$addr" -grace 5s &
+srv_pid=$!
+i=0
+until curl -sf "http://$addr/healthz" >/dev/null 2>&1; do
+	i=$((i + 1))
+	[ "$i" -gt 50 ] && { echo "drserve never became healthy" >&2; exit 1; }
+	sleep 0.1
+done
+
+echo "== curl spot checks: shapes and refusals"
+curl -sf "http://$addr/reach/path?s=0&t=0" | grep -q '"reachable":true' ||
+	{ echo "path(0,0) should be reachable" >&2; exit 1; }
+curl -sf "http://$addr/reach/count?s=0" | grep -q '"count":' ||
+	{ echo "count(0) missing count field" >&2; exit 1; }
+printf '{"sources":[0,1],"targets":[2,3]}' |
+	curl -sf -X POST -d @- "http://$addr/reach/join" | tail -1 | grep -q '"done":true' ||
+	{ echo "join stream missing done line" >&2; exit 1; }
+code="$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/reach/path?s=0&t=notanumber")"
+[ "$code" = "400" ] || { echo "bad path param answered $code, want 400" >&2; exit 1; }
+
+echo "== drload burst: witness paths, bit + hops verified"
+"$work/bin/drload" -mode path -addr "$addr" -clients 4 -requests 2000 \
+	-verify-idx "$work/graph.idx" -verify-graph "$work/graph.bin" -seed 3
+
+echo "== drload burst: set sizes, verified"
+"$work/bin/drload" -mode count -addr "$addr" -clients 4 -requests 1000 \
+	-verify-idx "$work/graph.idx" -seed 4
+
+echo "== drload burst: streaming joins, exact result set verified"
+"$work/bin/drload" -mode join -addr "$addr" -clients 4 -requests 200 -batch 16 \
+	-verify-idx "$work/graph.idx" -seed 5
+
+echo "== graceful shutdown on SIGTERM"
+kill -TERM "$srv_pid"
+rc=0
+wait "$srv_pid" || rc=$?
+srv_pid=""
+[ "$rc" -eq 0 ] || { echo "drserve exited $rc on SIGTERM" >&2; exit 1; }
+
+echo "== query-workload gate: regenerate and diff against the committed baseline"
+baseline="$(ls BENCH_query-citation-*.json | sort | tail -1)"
+"$work/bin/drbench" -exp query -scale-n 20000 -scale-deg 4 -scale-seed 1 -q -json -json-dir "$work"
+fresh="$(ls "$work"/BENCH_query-citation-*.json)"
+"$work/bin/benchcompare" "$baseline" "$fresh"
+
+echo "query smoke: OK"

@@ -27,6 +27,13 @@ import (
 //	GET  /reach?s=<id>&t=<id>  → {"s":3,"t":17,"reachable":true}
 //	POST /reach/batch          → {"count":2,"results":[true,false]}
 //	                             body: {"pairs":[[3,17],[5,9]]}
+//	GET  /reach/path?s=&t=     → {"s":3,"t":17,"reachable":true,"path":[3,8,17]}
+//	GET  /reach/count?s=<id>   → {"s":3,"count":941}
+//	POST /reach/from           → {"s":3,"count":2,"results":[true,false,true]}
+//	                             body: {"s":3,"targets":[17,9,3]}
+//	POST /reach/join           → NDJSON stream of {"s":..,"t":..} pairs,
+//	                             then {"done":true,"count":..,"scanned":..}
+//	                             body: {"sources":[..],"targets":[..]}
 //	POST /admin/reload         → {"epoch":2,"vertices":20000}
 //	                             body (optional): {"ref":"other.idx"}
 //	GET  /stats                → index statistics
@@ -74,6 +81,7 @@ type QueryHandler struct {
 	cachePairs  int
 	cacheShards int
 	maxBatch    int
+	maxJoin     int
 
 	// Hit/miss totals of retired epochs' caches, folded in at swap
 	// time so lifetime counters survive the swap.
@@ -89,6 +97,12 @@ type QueryHandler struct {
 	queryHist   *obs.Histogram
 	batchHist   *obs.Histogram
 	batchPairs  *obs.Histogram
+	pathHist    *obs.Histogram
+	countHist   *obs.Histogram
+	fromHist    *obs.Histogram
+	fromTargets *obs.Histogram
+	joinHist    *obs.Histogram
+	joinResults *obs.Histogram
 }
 
 // serveState is one epoch of serving: an immutable index and the
@@ -115,9 +129,14 @@ type ServeOptions struct {
 	// CacheShards is the shard count of the cache (default 64,
 	// rounded up to a power of two).
 	CacheShards int
-	// MaxBatch caps the pair count of one /reach/batch request;
-	// larger batches are refused with 413. Default DefaultMaxBatch.
+	// MaxBatch caps the pair count of one /reach/batch request and the
+	// per-list length of /reach/from and /reach/join; larger requests
+	// are refused with 413. Default DefaultMaxBatch.
 	MaxBatch int
+	// MaxJoin caps the scanned cross product |sources|·|targets| of one
+	// /reach/join request (after deduplication); larger joins are
+	// refused with 413 before the stream starts. Default DefaultMaxJoin.
+	MaxJoin int
 	// Loader produces the next index for POST /admin/reload (and
 	// drserve's SIGHUP): ref is the request's "ref" field, "" meaning
 	// "the default source" (drserve reloads its -idx path). Nil
@@ -128,6 +147,11 @@ type ServeOptions struct {
 // DefaultMaxBatch is the /reach/batch pair-count cap when
 // ServeOptions.MaxBatch is zero.
 const DefaultMaxBatch = 8192
+
+// DefaultMaxJoin is the /reach/join cross-product cap when
+// ServeOptions.MaxJoin is zero: a million scanned pairs keeps one
+// analytics request under a few hundred milliseconds of label sweeps.
+const DefaultMaxJoin = 1 << 20
 
 // defaultCacheShards spreads slot traffic across enough shards that
 // concurrent clients rarely contend on the same cache line.
@@ -166,6 +190,10 @@ func NewQueryHandlerOpts(idx *Index, opts ServeOptions) *QueryHandler {
 	if maxBatch <= 0 {
 		maxBatch = DefaultMaxBatch
 	}
+	maxJoin := opts.MaxJoin
+	if maxJoin <= 0 {
+		maxJoin = DefaultMaxJoin
+	}
 	reg := opts.Obs
 	h := &QueryHandler{
 		mux:         http.NewServeMux(),
@@ -174,6 +202,7 @@ func NewQueryHandlerOpts(idx *Index, opts ServeOptions) *QueryHandler {
 		cachePairs:  opts.CachePairs,
 		cacheShards: shards,
 		maxBatch:    maxBatch,
+		maxJoin:     maxJoin,
 
 		pairsTotal:  reg.Counter("reachlab_query_pairs_total"),
 		cacheHits:   reg.Counter("reachlab_cache_hits_total"),
@@ -183,6 +212,12 @@ func NewQueryHandlerOpts(idx *Index, opts ServeOptions) *QueryHandler {
 		queryHist:   reg.Histogram("reachlab_query_seconds", obs.LatencyBuckets),
 		batchHist:   reg.Histogram("reachlab_batch_seconds", obs.LatencyBuckets),
 		batchPairs:  reg.Histogram("reachlab_batch_pairs", obs.SizeBuckets),
+		pathHist:    reg.Histogram("reachlab_path_seconds", obs.LatencyBuckets),
+		countHist:   reg.Histogram("reachlab_count_seconds", obs.LatencyBuckets),
+		fromHist:    reg.Histogram("reachlab_from_seconds", obs.LatencyBuckets),
+		fromTargets: reg.Histogram("reachlab_from_targets", obs.SizeBuckets),
+		joinHist:    reg.Histogram("reachlab_join_seconds", obs.LatencyBuckets),
+		joinResults: reg.Histogram("reachlab_join_results", obs.SizeBuckets),
 	}
 	h.state.Store(&serveState{
 		idx:   idx,
@@ -192,6 +227,10 @@ func NewQueryHandlerOpts(idx *Index, opts ServeOptions) *QueryHandler {
 	h.epochGauge.Set(1)
 	h.mux.HandleFunc("GET /reach", h.reach)
 	h.mux.HandleFunc("POST /reach/batch", h.reachBatch)
+	h.mux.HandleFunc("GET /reach/path", h.reachPath)
+	h.mux.HandleFunc("GET /reach/count", h.reachCount)
+	h.mux.HandleFunc("POST /reach/from", h.reachFrom)
+	h.mux.HandleFunc("POST /reach/join", h.reachJoin)
 	h.mux.HandleFunc("POST /admin/reload", h.reload)
 	h.mux.HandleFunc("POST /edges", h.edges)
 	h.mux.HandleFunc("GET /stats", h.stats)

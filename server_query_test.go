@@ -1,0 +1,678 @@
+package reachlab
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// HTTP-level suite for the rich-query endpoints: answers vs the BFS
+// oracle, epoch headers, cacheability split, error paths, a fuzz
+// target on the join decoder, and a -race hammer mixing all six
+// endpoints across a mid-burst epoch swap.
+
+// oracleRow computes g's reachability row from s by BFS.
+func oracleRow(g *Graph, s VertexID, targets []int64) []bool {
+	out := make([]bool, len(targets))
+	for i, t := range targets {
+		out[i] = g.ReachableBFS(s, VertexID(t))
+	}
+	return out
+}
+
+func oracleSetSize(g *Graph, s VertexID) int {
+	count := 0
+	for t := 0; t < g.NumVertices(); t++ {
+		if g.ReachableBFS(s, VertexID(t)) {
+			count++
+		}
+	}
+	return count
+}
+
+// decodeNDJoin parses a /reach/join NDJSON body. done reports whether
+// the terminal summary arrived — a complete stream always has it.
+func decodeNDJoin(t *testing.T, body *bufio.Scanner) (pairs [][2]int64, count, scanned int, done bool) {
+	t.Helper()
+	for body.Scan() {
+		line := strings.TrimSpace(body.Text())
+		if line == "" {
+			continue
+		}
+		if done {
+			t.Fatalf("join line after the done summary: %s", line)
+		}
+		var rec struct {
+			S, T    *int64
+			Done    bool
+			Count   int
+			Scanned int
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad join line %q: %v", line, err)
+		}
+		if rec.Done {
+			done, count, scanned = true, rec.Count, rec.Scanned
+			continue
+		}
+		if rec.S == nil || rec.T == nil {
+			t.Fatalf("join line with neither pair nor summary: %s", line)
+		}
+		pairs = append(pairs, [2]int64{*rec.S, *rec.T})
+	}
+	if err := body.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return pairs, count, scanned, done
+}
+
+func TestRichEndpointsMatchOracle(t *testing.T) {
+	g, _, _, reg, srv := buildTestServer(t, 1024, DefaultMaxBatch)
+	n := g.NumVertices()
+	client := srv.Client()
+
+	// Witness paths: reachable iff the oracle says so; every returned
+	// path walks real edges between the right endpoints.
+	for k := 0; k < 60; k++ {
+		s, d := (k*7)%n, (k*13+5)%n
+		resp, err := client.Get(fmt.Sprintf("%s/reach/path?s=%d&t=%d", srv.URL, s, d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := resp.Header.Get(EpochHeader); e != "1" {
+			t.Fatalf("path epoch header %q, want \"1\"", e)
+		}
+		var pr struct {
+			S         int64   `json:"s"`
+			T         int64   `json:"t"`
+			Reachable bool    `json:"reachable"`
+			Path      []int64 `json:"path"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&pr)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := g.ReachableBFS(VertexID(s), VertexID(d))
+		if pr.Reachable != want {
+			t.Fatalf("path(%d,%d).reachable = %v, oracle says %v", s, d, pr.Reachable, want)
+		}
+		if !want {
+			if pr.Path != nil {
+				t.Fatalf("path(%d,%d) carried a path for an unreachable pair: %v", s, d, pr.Path)
+			}
+			continue
+		}
+		if len(pr.Path) == 0 || pr.Path[0] != int64(s) || pr.Path[len(pr.Path)-1] != int64(d) {
+			t.Fatalf("path(%d,%d) endpoints wrong: %v", s, d, pr.Path)
+		}
+		for i := 0; i+1 < len(pr.Path); i++ {
+			hop := false
+			for _, w := range g.OutNeighbors(VertexID(pr.Path[i])) {
+				if int64(w) == pr.Path[i+1] {
+					hop = true
+					break
+				}
+			}
+			if !hop {
+				t.Fatalf("path(%d,%d) hop %d→%d is not an edge", s, d, pr.Path[i], pr.Path[i+1])
+			}
+		}
+	}
+
+	// Set-size counts.
+	for s := 0; s < n; s += 9 {
+		resp, err := client.Get(fmt.Sprintf("%s/reach/count?s=%d", srv.URL, s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cr struct {
+			Count int `json:"count"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&cr)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := oracleSetSize(g, VertexID(s)); cr.Count != want {
+			t.Fatalf("count(%d) = %d, oracle says %d", s, cr.Count, want)
+		}
+	}
+
+	// One-source sweeps, duplicates included.
+	targets := []int64{0, 5, 5, 17, 42, 59, 1}
+	for s := 0; s < n; s += 11 {
+		raw, _ := json.Marshal(map[string]any{"s": s, "targets": targets})
+		resp, err := client.Post(srv.URL+"/reach/from", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fr struct {
+			Count   int    `json:"count"`
+			Results []bool `json:"results"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&fr)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := oracleRow(g, VertexID(s), targets)
+		wantCount := 0
+		for _, ok := range want {
+			if ok {
+				wantCount++
+			}
+		}
+		if fr.Count != wantCount || len(fr.Results) != len(targets) {
+			t.Fatalf("from(%d) count=%d len=%d, want %d/%d", s, fr.Count, len(fr.Results), wantCount, len(targets))
+		}
+		for i := range want {
+			if fr.Results[i] != want[i] {
+				t.Fatalf("from(%d) results[%d]=%v, oracle says %v", s, i, fr.Results[i], want[i])
+			}
+		}
+	}
+
+	// Join: pairs == per-pair oracle over the deduplicated sorted
+	// lists, metamorphic with /reach point answers.
+	sources := []int64{3, 1, 4, 1, 5, 9, 2, 6}
+	tgts := []int64{8, 2, 8, 18, 28, 45}
+	raw, _ := json.Marshal(map[string]any{"sources": sources, "targets": tgts})
+	resp, err := client.Post(srv.URL+"/reach/join", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Content-Type") != "application/x-ndjson" {
+		t.Fatalf("join status %d content-type %q", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	if e := resp.Header.Get(EpochHeader); e != "1" {
+		t.Fatalf("join epoch header %q, want \"1\"", e)
+	}
+	pairs, count, scanned, done := decodeNDJoin(t, bufio.NewScanner(resp.Body))
+	if !done {
+		t.Fatal("join stream ended without its done summary")
+	}
+	wantPairs := [][2]int64{}
+	us, ut := dedupInt64(sources), dedupInt64(tgts)
+	for _, s := range us {
+		for _, d := range ut {
+			if g.ReachableBFS(VertexID(s), VertexID(d)) {
+				wantPairs = append(wantPairs, [2]int64{s, d})
+			}
+		}
+	}
+	if len(pairs) != len(wantPairs) || count != len(wantPairs) || scanned != len(us)*len(ut) {
+		t.Fatalf("join = %d pairs (count %d, scanned %d), want %d pairs scanned %d",
+			len(pairs), count, scanned, len(wantPairs), len(us)*len(ut))
+	}
+	for i := range pairs {
+		if pairs[i] != wantPairs[i] {
+			t.Fatalf("join pairs[%d] = %v, want %v (order must be ascending (s,t))", i, pairs[i], wantPairs[i])
+		}
+	}
+
+	// Cacheability split: path and from consulted the cache (pairs
+	// accounted, hits+misses reconcile); count and join did not count
+	// pairs. 60 path + Σ from targets is everything pair-counted.
+	pairsSeen := reg.CounterValue("reachlab_query_pairs_total")
+	wantSeen := int64(60 + len(targets)*((n+10)/11))
+	if pairsSeen != wantSeen {
+		t.Fatalf("pairs counter %d, want %d (count/join must not count pairs)", pairsSeen, wantSeen)
+	}
+	hits := reg.CounterValue("reachlab_cache_hits_total")
+	misses := reg.CounterValue("reachlab_cache_misses_total")
+	if hits+misses != pairsSeen {
+		t.Fatalf("cache counters do not reconcile: %d + %d != %d", hits, misses, pairsSeen)
+	}
+}
+
+func dedupInt64(vs []int64) []int64 {
+	seen := map[int64]bool{}
+	out := []int64{}
+	for _, v := range vs {
+		seen[v] = true
+	}
+	for v := int64(0); v < 1<<16; v++ {
+		if seen[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// TestPathCacheHit: asking the same pair twice serves the second
+// reachable bit from the hot-pair cache while still rebuilding the
+// path, and the answers agree.
+func TestPathCacheHit(t *testing.T) {
+	_, _, _, reg, srv := buildTestServer(t, 256, DefaultMaxBatch)
+	var first, second struct {
+		Reachable bool    `json:"reachable"`
+		Path      []int64 `json:"path"`
+	}
+	for i, out := range []*struct {
+		Reachable bool    `json:"reachable"`
+		Path      []int64 `json:"path"`
+	}{&first, &second} {
+		resp, err := http.Get(srv.URL + "/reach/path?s=2&t=40")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		_ = i
+	}
+	if first.Reachable != second.Reachable || len(first.Path) != len(second.Path) {
+		t.Fatalf("repeated path query disagrees: %+v vs %+v", first, second)
+	}
+	if hits := reg.CounterValue("reachlab_cache_hits_total"); hits != 1 {
+		t.Fatalf("second identical path query hit the cache %d times, want 1", hits)
+	}
+}
+
+// TestPathEndpointNoGraph: an index loaded from disk has no graph, so
+// /reach/path refuses with 501 — before any pair accounting — while
+// the sweeps (/reach/count, /reach/from, /reach/join) keep working.
+func TestPathEndpointNoGraph(t *testing.T) {
+	g := randomCyclicGraph(30, 90, 7)
+	built, err := Build(context.Background(), g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := built.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewMetricsRegistry()
+	h := NewQueryHandlerOpts(loaded, ServeOptions{Obs: reg, CachePairs: 64})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/reach/path?s=0&t=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("path on a graphless index: status %d, want 501", resp.StatusCode)
+	}
+	if pairs := reg.CounterValue("reachlab_query_pairs_total"); pairs != 0 {
+		t.Fatalf("refused path query still counted %d pairs", pairs)
+	}
+	resp, err = http.Get(srv.URL + "/reach/count?s=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("count on a graphless index: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestRichEndpointErrors walks the refusal grid of all four endpoints,
+// mirroring TestBatchEndpointErrors: 400 for malformed input and
+// out-of-range vertices, 405 for the wrong method, 413 for oversized
+// lists, bodies, and cross products — and a mid-stream write failure
+// must be dropped without forcing a status.
+func TestRichEndpointErrors(t *testing.T) {
+	g := randomCyclicGraph(20, 50, 11)
+	idx, err := Build(context.Background(), g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const maxBatch = 4
+	const maxJoin = 6
+	h := NewQueryHandlerOpts(idx, ServeOptions{
+		Obs: NewMetricsRegistry(), CachePairs: 64, MaxBatch: maxBatch, MaxJoin: maxJoin,
+	})
+	do := func(method, target, body string) *httptest.ResponseRecorder {
+		var r *httptest.ResponseRecorder
+		req := httptest.NewRequest(method, target, strings.NewReader(body))
+		if body != "" {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		r = httptest.NewRecorder()
+		h.ServeHTTP(r, req)
+		return r
+	}
+
+	t.Run("path-bad-params", func(t *testing.T) {
+		for _, q := range []string{"", "?s=1", "?s=abc&t=2", "?s=99&t=2", "?s=-1&t=2", "?s=1&t=20"} {
+			if rec := do(http.MethodGet, "/reach/path"+q, ""); rec.Code != http.StatusBadRequest {
+				t.Errorf("path%s: status %d, want 400", q, rec.Code)
+			}
+		}
+		if rec := do(http.MethodPost, "/reach/path?s=1&t=2", ""); rec.Code != http.StatusMethodNotAllowed {
+			t.Errorf("POST path: status %d, want 405", rec.Code)
+		}
+	})
+
+	t.Run("count-bad-params", func(t *testing.T) {
+		for _, q := range []string{"", "?s=x", "?s=20", "?s=-3"} {
+			if rec := do(http.MethodGet, "/reach/count"+q, ""); rec.Code != http.StatusBadRequest {
+				t.Errorf("count%s: status %d, want 400", q, rec.Code)
+			}
+		}
+		if rec := do(http.MethodPost, "/reach/count?s=1", ""); rec.Code != http.StatusMethodNotAllowed {
+			t.Errorf("POST count: status %d, want 405", rec.Code)
+		}
+	})
+
+	t.Run("from-errors", func(t *testing.T) {
+		cases := []struct {
+			body string
+			want int
+		}{
+			{`{"s": 0, "targets": [1, 2`, http.StatusBadRequest},
+			{`garbage`, http.StatusBadRequest},
+			{`{"s": -1, "targets": [1]}`, http.StatusBadRequest},
+			{`{"s": 20, "targets": [1]}`, http.StatusBadRequest},
+			{`{"s": 0, "targets": [1, 99]}`, http.StatusBadRequest},
+			{`{"s": 0, "targets": [1, 2, 3, 4, 5]}`, http.StatusRequestEntityTooLarge},
+			{`{"s": 0, "targets": [1]` + strings.Repeat(" ", int(h.maxBatchBytes())+64) + `}`,
+				http.StatusRequestEntityTooLarge},
+		}
+		for _, c := range cases {
+			if rec := do(http.MethodPost, "/reach/from", c.body); rec.Code != c.want {
+				t.Errorf("from %.40q: status %d, want %d", c.body, rec.Code, c.want)
+			}
+		}
+		if rec := do(http.MethodGet, "/reach/from", ""); rec.Code != http.StatusMethodNotAllowed {
+			t.Errorf("GET from: status %d, want 405", rec.Code)
+		}
+	})
+
+	t.Run("join-errors", func(t *testing.T) {
+		cases := []struct {
+			body string
+			want int
+		}{
+			{`{"sources": [0], "targets": [1`, http.StatusBadRequest},
+			{`{"sources": [0, -1], "targets": [1]}`, http.StatusBadRequest},
+			{`{"sources": [0], "targets": [20]}`, http.StatusBadRequest},
+			{`{"sources": [0, 1, 2, 3, 4], "targets": [1]}`, http.StatusRequestEntityTooLarge},
+			{`{"sources": [0], "targets": [1, 2, 3, 4, 5]}`, http.StatusRequestEntityTooLarge},
+			// Each list under the per-list cap, product over maxJoin.
+			{`{"sources": [0, 1, 2], "targets": [3, 4, 5]}`, http.StatusRequestEntityTooLarge},
+			{`{"sources": [0], "targets": [1]` + strings.Repeat(" ", 2*int(h.maxBatchBytes())+64) + `}`,
+				http.StatusRequestEntityTooLarge},
+		}
+		for _, c := range cases {
+			rec := do(http.MethodPost, "/reach/join", c.body)
+			if rec.Code != c.want {
+				t.Errorf("join %.40q: status %d, want %d", c.body, rec.Code, c.want)
+			}
+			if rec.Code != http.StatusOK && rec.Header().Get("Content-Type") == "application/x-ndjson" {
+				t.Errorf("join refusal %.40q started an NDJSON stream", c.body)
+			}
+		}
+		if rec := do(http.MethodGet, "/reach/join", ""); rec.Code != http.StatusMethodNotAllowed {
+			t.Errorf("GET join: status %d, want 405", rec.Code)
+		}
+		// Duplicates dedup below the product cap: 3 unique × 2 unique = 6.
+		rec := do(http.MethodPost, "/reach/join", `{"sources": [0, 0, 1, 2], "targets": [3, 3, 4, 4]}`)
+		if rec.Code != http.StatusOK {
+			t.Errorf("deduplicated join under the cap: status %d, want 200", rec.Code)
+		}
+	})
+
+	t.Run("writer-failure-drops", func(t *testing.T) {
+		for _, c := range []struct{ method, target, body string }{
+			{http.MethodGet, "/reach/path?s=0&t=0", ""},
+			{http.MethodGet, "/reach/count?s=0", ""},
+			{http.MethodPost, "/reach/from", `{"s": 0, "targets": [0]}`},
+			{http.MethodPost, "/reach/join", `{"sources": [0], "targets": [0]}`},
+		} {
+			req := httptest.NewRequest(c.method, c.target, strings.NewReader(c.body))
+			w := &failingWriter{header: make(http.Header)}
+			h.ServeHTTP(w, req)
+			if w.code != 0 {
+				t.Errorf("%s %s forced status %d after a write failure", c.method, c.target, w.code)
+			}
+		}
+	})
+}
+
+// FuzzJoinRequest throws arbitrary bodies at the join decoder: the
+// handler must never panic, refuse with 400/413, or answer 200 with a
+// complete NDJSON stream whose summary line is present and consistent.
+func FuzzJoinRequest(f *testing.F) {
+	g := randomCyclicGraph(20, 50, 11)
+	idx, err := Build(context.Background(), g, Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	h := NewQueryHandlerOpts(idx, ServeOptions{Obs: NewMetricsRegistry(), MaxBatch: 8, MaxJoin: 32})
+	f.Add(`{"sources": [0, 1], "targets": [2, 3]}`)
+	f.Add(`{"sources": [], "targets": []}`)
+	f.Add(`{"sources": [19], "targets": [0]}`)
+	f.Add(`{"sources": [-1], "targets": [1]}`)
+	f.Add(`{"sources": [0, 0, 0], "targets": [99999999]}`)
+	f.Add(`{"sources": null, "targets": null}`)
+	f.Add(`[[0, 1]]`)
+	f.Add(`{"sources": [0.5], "targets": [1]}`)
+	f.Add("\x00\xff not json")
+	f.Fuzz(func(t *testing.T, body string) {
+		req := httptest.NewRequest(http.MethodPost, "/reach/join", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		switch rec.Code {
+		case http.StatusOK:
+			pairs, count, _, done := decodeNDJoin(t, bufio.NewScanner(rec.Body))
+			if !done {
+				t.Fatalf("200 join stream without a done line (body %q)", body)
+			}
+			if count != len(pairs) {
+				t.Fatalf("summary count %d, stream carried %d pairs (body %q)", count, len(pairs), body)
+			}
+		case http.StatusBadRequest, http.StatusRequestEntityTooLarge:
+		default:
+			t.Fatalf("join answered status %d for body %q", rec.Code, body)
+		}
+	})
+}
+
+// TestQueryHandlerConcurrentRich mixes all six endpoints from many
+// goroutines across a mid-burst epoch swap (run under -race by make
+// check and CI). Every answer must match the BFS oracle regardless of
+// the epoch that served it — both epochs serve an equivalent index —
+// and afterwards the pair-cache counters must reconcile exactly.
+func TestQueryHandlerConcurrentRich(t *testing.T) {
+	g, _, h, reg, srv := buildTestServer(t, 2048, DefaultMaxBatch)
+	n := g.NumVertices()
+	// The swapped-in index is built from the same graph, so oracle
+	// answers stay valid across the swap.
+	idx2, err := Build(context.Background(), g, Options{CondenseSCC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	const perWorker = 48
+	var wg sync.WaitGroup
+	var pairsSent atomic.Int64
+	errs := make(chan error, workers)
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			client := srv.Client()
+			fail := func(err error) {
+				select {
+				case errs <- err:
+				default:
+				}
+			}
+			for i := 0; i < perWorker; i++ {
+				s, d := rng.Intn(n), rng.Intn(n)
+				switch i % 6 {
+				case 0: // point query
+					var body struct {
+						Reachable bool `json:"reachable"`
+					}
+					resp, err := client.Get(fmt.Sprintf("%s/reach?s=%d&t=%d", srv.URL, s, d))
+					if err != nil {
+						fail(err)
+						return
+					}
+					err = json.NewDecoder(resp.Body).Decode(&body)
+					resp.Body.Close()
+					if err != nil {
+						fail(err)
+						return
+					}
+					pairsSent.Add(1)
+					if want := g.ReachableBFS(VertexID(s), VertexID(d)); body.Reachable != want {
+						fail(fmt.Errorf("reach(%d,%d) = %v, want %v", s, d, body.Reachable, want))
+						return
+					}
+				case 1: // batch
+					raw, _ := json.Marshal(map[string]any{"pairs": [][2]int64{{int64(s), int64(d)}, {int64(d), int64(s)}}})
+					resp, err := client.Post(srv.URL+"/reach/batch", "application/json", bytes.NewReader(raw))
+					if err != nil {
+						fail(err)
+						return
+					}
+					var body struct {
+						Results []bool `json:"results"`
+					}
+					err = json.NewDecoder(resp.Body).Decode(&body)
+					resp.Body.Close()
+					if err != nil {
+						fail(err)
+						return
+					}
+					pairsSent.Add(2)
+					if len(body.Results) != 2 ||
+						body.Results[0] != g.ReachableBFS(VertexID(s), VertexID(d)) ||
+						body.Results[1] != g.ReachableBFS(VertexID(d), VertexID(s)) {
+						fail(fmt.Errorf("batch(%d,%d) = %v", s, d, body.Results))
+						return
+					}
+				case 2: // witness path
+					resp, err := client.Get(fmt.Sprintf("%s/reach/path?s=%d&t=%d", srv.URL, s, d))
+					if err != nil {
+						fail(err)
+						return
+					}
+					var body struct {
+						Reachable bool    `json:"reachable"`
+						Path      []int64 `json:"path"`
+					}
+					err = json.NewDecoder(resp.Body).Decode(&body)
+					resp.Body.Close()
+					if err != nil {
+						fail(err)
+						return
+					}
+					pairsSent.Add(1)
+					want := g.ReachableBFS(VertexID(s), VertexID(d))
+					if body.Reachable != want || (want && len(body.Path) == 0) {
+						fail(fmt.Errorf("path(%d,%d) = %+v, want reachable=%v", s, d, body, want))
+						return
+					}
+				case 3: // set size
+					resp, err := client.Get(fmt.Sprintf("%s/reach/count?s=%d", srv.URL, s))
+					if err != nil {
+						fail(err)
+						return
+					}
+					var body struct {
+						Count int `json:"count"`
+					}
+					err = json.NewDecoder(resp.Body).Decode(&body)
+					resp.Body.Close()
+					if err != nil {
+						fail(err)
+						return
+					}
+					if want := oracleSetSize(g, VertexID(s)); body.Count != want {
+						fail(fmt.Errorf("count(%d) = %d, want %d", s, body.Count, want))
+						return
+					}
+				case 4: // one-source sweep
+					targets := []int64{int64(d), int64((d + 1) % n), int64(s)}
+					raw, _ := json.Marshal(map[string]any{"s": s, "targets": targets})
+					resp, err := client.Post(srv.URL+"/reach/from", "application/json", bytes.NewReader(raw))
+					if err != nil {
+						fail(err)
+						return
+					}
+					var body struct {
+						Results []bool `json:"results"`
+					}
+					err = json.NewDecoder(resp.Body).Decode(&body)
+					resp.Body.Close()
+					if err != nil {
+						fail(err)
+						return
+					}
+					pairsSent.Add(int64(len(targets)))
+					want := oracleRow(g, VertexID(s), targets)
+					for k := range want {
+						if body.Results[k] != want[k] {
+							fail(fmt.Errorf("from(%d)[%d] = %v, want %v", s, k, body.Results[k], want[k]))
+							return
+						}
+					}
+				case 5: // join
+					srcs := []int64{int64(s), int64((s + 3) % n)}
+					tgts := []int64{int64(d), int64((d + 7) % n)}
+					raw, _ := json.Marshal(map[string]any{"sources": srcs, "targets": tgts})
+					resp, err := client.Post(srv.URL+"/reach/join", "application/json", bytes.NewReader(raw))
+					if err != nil {
+						fail(err)
+						return
+					}
+					pairs, count, _, done := decodeNDJoin(t, bufio.NewScanner(resp.Body))
+					resp.Body.Close()
+					if !done || count != len(pairs) {
+						fail(fmt.Errorf("join stream incomplete: done=%v count=%d pairs=%d", done, count, len(pairs)))
+						return
+					}
+					for _, p := range pairs {
+						if !g.ReachableBFS(VertexID(p[0]), VertexID(p[1])) {
+							fail(fmt.Errorf("join streamed unreachable pair %v", p))
+							return
+						}
+					}
+				}
+				if seed == 100 && i == perWorker/2 {
+					// Mid-burst swap under full traffic from one worker.
+					h.Swap(idx2)
+				}
+			}
+		}(int64(wk) + 100)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	hits := reg.CounterValue("reachlab_cache_hits_total")
+	misses := reg.CounterValue("reachlab_cache_misses_total")
+	pairs := reg.CounterValue("reachlab_query_pairs_total")
+	if pairs != pairsSent.Load() {
+		t.Errorf("server counted %d pairs, clients sent %d", pairs, pairsSent.Load())
+	}
+	if hits+misses != pairs {
+		t.Errorf("cache counters do not reconcile across the swap: %d + %d != %d", hits, misses, pairs)
+	}
+}

@@ -193,7 +193,12 @@ func (u *Updater) foldDynStats() {
 
 // Snapshot freezes the maintainer's current labels — the index a
 // QueryHandler paired with this updater should be constructed with.
-func (u *Updater) Snapshot() *Index { return &Index{idx: u.dyn.Snapshot()} }
+// The maintainer's graph rides along (one O(n+m) CSR materialization)
+// so every published epoch serves witness paths that are verifiable
+// against exactly the edges that epoch indexed.
+func (u *Updater) Snapshot() *Index {
+	return &Index{idx: u.dyn.Snapshot(), g: u.dyn.Graph()}
+}
 
 // AppliedSeq returns the highest log sequence number reflected in the
 // published epoch.
@@ -279,12 +284,31 @@ func (u *Updater) Apply(insert bool, a, b VertexID) (seq, epoch uint64, err erro
 	// ceil((seq-base)/RefreshBatch) swaps after base's epoch.
 	u.mu.Lock()
 	defer u.mu.Unlock()
-	base := u.appliedSeq
 	pub := uint64(1)
 	if u.h != nil {
 		pub = u.h.Epoch()
 	}
+	if seq <= u.appliedSeq {
+		// One or more whole refresh cycles completed between the append
+		// and this lock: seq is already inside a published epoch. The
+		// promise is the FIRST epoch whose cut covered it — the current
+		// epoch is too late whenever more than one swap fit in the
+		// window. Walk the recorded cuts back to the earliest cover.
+		epoch = pub
+		for {
+			prev, ok := u.epochSeq[epoch-1]
+			if !ok || prev < seq {
+				break
+			}
+			epoch--
+		}
+		return seq, epoch, nil
+	}
+	base := u.appliedSeq
 	if u.inflight {
+		// The in-flight refresh cut at cutSeq and will publish as
+		// pub+1; seq is unpublished, so that epoch is either its home
+		// (seq ≤ cut) or the base the remaining backlog drains from.
 		base = u.cutSeq
 		pub++
 	}
@@ -323,36 +347,57 @@ var errBatchFull = errors.New("batch full")
 // refresher goroutine only — the maintainer is single-writer.
 func (u *Updater) refreshOnce() {
 	start := time.Now()
+
+	// Plan the cut BEFORE reading the log, in the same critical
+	// section that marks the refresh in flight: from the instant this
+	// unlocks, every Apply sees exactly which seqs this refresh will
+	// publish, so its promise arithmetic is exact. (Planning after the
+	// replay left a window where a promise counted a seq into this
+	// refresh that the already-pinned replay could no longer include.)
+	// A failed attempt keeps the plan, and the retry honors it —
+	// promises made against the plan stay valid across retries.
 	u.mu.Lock()
 	from := u.appliedSeq
+	cut := u.cutSeq
+	if !u.inflight {
+		cut = u.log.LastSeq()
+		if lim := from + uint64(u.batch); cut > lim {
+			cut = lim
+		}
+		if cut > from {
+			u.inflight = true
+			u.cutSeq = cut
+		}
+	}
 	u.mu.Unlock()
+
+	if cut <= from {
+		u.seqLag.Set(0)
+		u.epochLag.Set(0)
+		u.staleness.Set(0)
+		return
+	}
 
 	var recs []wal.Record
 	err := u.log.Replay(from, func(r wal.Record) error {
 		recs = append(recs, r)
-		if len(recs) >= u.batch {
+		if r.Seq >= cut {
 			return errBatchFull
 		}
 		return nil
 	})
 	if err != nil && !errors.Is(err, errBatchFull) {
 		// A read error leaves the published epoch serving; the next
-		// tick retries from the same frontier.
+		// tick retries the same planned cut (inflight stays set).
 		u.seqLag.Set(int64(u.log.SyncedSeq() - from))
 		return
 	}
-	if len(recs) == 0 {
-		u.seqLag.Set(0)
-		u.epochLag.Set(0)
-		u.staleness.Set(0)
+	if len(recs) == 0 || recs[len(recs)-1].Seq != cut {
+		// The log delivered less than the plan — only possible on a
+		// torn read; retry the plan next tick.
+		u.seqLag.Set(int64(u.log.SyncedSeq() - from))
 		return
 	}
-	cut := recs[len(recs)-1].Seq
-
-	u.mu.Lock()
-	u.inflight = true
-	u.cutSeq = cut
-	u.mu.Unlock()
 
 	for _, r := range recs {
 		if err := u.applyRecord(r); err != nil {
@@ -366,7 +411,9 @@ func (u *Updater) refreshOnce() {
 	if u.testHookMidRefresh != nil {
 		u.testHookMidRefresh()
 	}
-	idx := &Index{idx: u.dyn.Snapshot()}
+	// The graph snapshot keeps /reach/path consistent with the labels:
+	// an epoch's witness paths walk exactly the edges its labels cover.
+	idx := &Index{idx: u.dyn.Snapshot(), g: u.dyn.Graph()}
 
 	// Swap under mu so an Apply computing its promise never observes
 	// the new epoch with the old frontier (or vice versa). The swap

@@ -74,11 +74,17 @@ type soakOp struct {
 }
 
 // soakSample is one successful read: what the server answered and at
-// which epoch it claims the answer was exact.
+// which epoch it claims the answer was exact. kind 0 is a point or
+// batch /reach answer; 'c' is a /reach/count answer carrying count;
+// 'p' is a /reach/path answer carrying the witness path, whose every
+// hop must be an edge of that exact epoch's graph.
 type soakSample struct {
 	s, t      VertexID
 	reachable bool
 	epoch     uint64
+	kind      byte
+	count     int
+	path      []VertexID
 }
 
 // soakOracle is the reference graph as an adjacency set, replaying
@@ -303,8 +309,51 @@ func TestUpdateQuerySoak(t *testing.T) {
 						return
 					}
 					for i, p := range pairs {
-						local = append(local, soakSample{VertexID(p[0]), VertexID(p[1]), br.Results[i], epoch})
+						local = append(local, soakSample{s: VertexID(p[0]), t: VertexID(p[1]), reachable: br.Results[i], epoch: epoch})
 					}
+					continue
+				case roll == 3:
+					// Set-size read: count must equal the popcount of the
+					// oracle's reach set at the answered epoch.
+					resp, err := client.Get(fmt.Sprintf("%s/reach/count?s=%d", srv.URL, s))
+					if err != nil {
+						t.Errorf("reader %d: count: %v", r, err)
+						return
+					}
+					var cr struct {
+						Count int `json:"count"`
+					}
+					epoch, _ := strconv.ParseUint(resp.Header.Get(EpochHeader), 10, 64)
+					err = json.NewDecoder(resp.Body).Decode(&cr)
+					resp.Body.Close()
+					if err != nil {
+						t.Errorf("reader %d: count decode: %v", r, err)
+						return
+					}
+					local = append(local, soakSample{s: s, epoch: epoch, kind: 'c', count: cr.Count})
+					continue
+				case roll == 4:
+					// Witness-path read: every hop must be an edge of the
+					// answered epoch's graph — the refresher attaches each
+					// epoch's own graph at swap time, so a path walked
+					// against a stale graph would carry phantom edges.
+					resp, err := client.Get(fmt.Sprintf("%s/reach/path?s=%d&t=%d", srv.URL, s, tt))
+					if err != nil {
+						t.Errorf("reader %d: path: %v", r, err)
+						return
+					}
+					var pr struct {
+						Reachable bool       `json:"reachable"`
+						Path      []VertexID `json:"path"`
+					}
+					epoch, _ := strconv.ParseUint(resp.Header.Get(EpochHeader), 10, 64)
+					err = json.NewDecoder(resp.Body).Decode(&pr)
+					resp.Body.Close()
+					if err != nil {
+						t.Errorf("reader %d: path decode: %v", r, err)
+						return
+					}
+					local = append(local, soakSample{s: s, t: tt, reachable: pr.Reachable, epoch: epoch, kind: 'p', path: pr.Path})
 					continue
 				}
 				resp, err := client.Get(fmt.Sprintf("%s/reach?s=%d&t=%d", srv.URL, s, tt))
@@ -320,7 +369,7 @@ func TestUpdateQuerySoak(t *testing.T) {
 					t.Errorf("reader %d: decode: %v", r, err)
 					return
 				}
-				local = append(local, soakSample{s, tt, got.Reachable, epoch})
+				local = append(local, soakSample{s: s, t: tt, reachable: got.Reachable, epoch: epoch})
 			}
 			samplesMu.Lock()
 			samples = append(samples, local...)
@@ -391,16 +440,56 @@ func TestUpdateQuerySoak(t *testing.T) {
 			opIdx++
 		}
 		memo := make(map[VertexID][]bool)
-		for _, s := range byEpoch[e] {
-			reach, ok := memo[s.s]
+		reachRow := func(v VertexID) []bool {
+			row, ok := memo[v]
 			if !ok {
-				reach = oracle.reachAll(s.s)
-				memo[s.s] = reach
+				row = oracle.reachAll(v)
+				memo[v] = row
 			}
-			if reach[s.t] != s.reachable {
-				mismatches++
-				t.Errorf("epoch %d (cut seq %d): reach(%d,%d) answered %v, oracle says %v",
-					e, cut, s.s, s.t, s.reachable, reach[s.t])
+			return row
+		}
+		for _, s := range byEpoch[e] {
+			switch s.kind {
+			case 'c':
+				want := 0
+				for _, r := range reachRow(s.s) {
+					if r {
+						want++
+					}
+				}
+				if s.count != want {
+					mismatches++
+					t.Errorf("epoch %d (cut seq %d): count(%d) answered %d, oracle says %d",
+						e, cut, s.s, s.count, want)
+				}
+			case 'p':
+				if reach := reachRow(s.s); reach[s.t] != s.reachable {
+					mismatches++
+					t.Errorf("epoch %d (cut seq %d): path(%d,%d) answered reachable=%v, oracle says %v",
+						e, cut, s.s, s.t, s.reachable, reach[s.t])
+					continue
+				}
+				if !s.reachable {
+					continue
+				}
+				if len(s.path) == 0 || s.path[0] != s.s || s.path[len(s.path)-1] != s.t {
+					mismatches++
+					t.Errorf("epoch %d: path(%d,%d) endpoints wrong: %v", e, s.s, s.t, s.path)
+					continue
+				}
+				for i := 0; i+1 < len(s.path); i++ {
+					if !oracle[s.path[i]][s.path[i+1]] {
+						mismatches++
+						t.Errorf("epoch %d (cut seq %d): path(%d,%d) hop %d→%d is not an edge of that epoch's graph",
+							e, cut, s.s, s.t, s.path[i], s.path[i+1])
+					}
+				}
+			default:
+				if reach := reachRow(s.s); reach[s.t] != s.reachable {
+					mismatches++
+					t.Errorf("epoch %d (cut seq %d): reach(%d,%d) answered %v, oracle says %v",
+						e, cut, s.s, s.t, s.reachable, reach[s.t])
+				}
 			}
 		}
 	}
